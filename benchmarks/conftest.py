@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one figure or table of the paper at a reduced —
+but shape-preserving — scale, times it with pytest-benchmark, prints the
+series the paper plots, and attaches the headline numbers to the benchmark's
+``extra_info`` so they survive into ``--benchmark-json`` output.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` keeps the printed tables visible).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.report import render_experiment
+from repro.sim.runner import SweepResult
+
+#: Workload scale used by the simulation benchmarks: 1/10 of the paper's
+#: volume (500 objects, 10,000 requests), which preserves the qualitative
+#: orderings while keeping each benchmark in the seconds range.
+BENCH_SCALE: float = 0.1
+
+#: Number of runs averaged per data point (the paper uses ten).
+BENCH_RUNS: int = 2
+
+#: Cache sizes, as fractions of the unique object size, used on the x-axis.
+BENCH_CACHE_FRACTIONS = (0.005, 0.05, 0.17)
+
+
+def run_once(benchmark, func, **kwargs) -> ExperimentResult:
+    """Execute ``func(**kwargs)`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(lambda: func(**kwargs), rounds=1, iterations=1)
+
+
+def summarize_sweep(sweep: SweepResult, metric: str) -> Dict[str, float]:
+    """Flatten the largest-cache point of one metric into ``extra_info`` form."""
+    return {
+        f"{metric}[{policy}]": sweep.series(policy, metric)[-1]
+        for policy in sweep.policies()
+    }
+
+
+def report(benchmark, result: ExperimentResult, extra: Dict[str, float] = None) -> None:
+    """Print the experiment's series and attach headline numbers."""
+    print()
+    print(render_experiment(result))
+    info = {"experiment": result.experiment_id}
+    if extra:
+        info.update({key: round(float(value), 6) for key, value in extra.items()})
+    benchmark.extra_info.update(info)
+
+
+@pytest.fixture
+def bench_settings():
+    """Expose the shared benchmark scale settings to individual benchmarks."""
+    return {
+        "scale": BENCH_SCALE,
+        "num_runs": BENCH_RUNS,
+        "cache_fractions": BENCH_CACHE_FRACTIONS,
+    }

@@ -1,0 +1,72 @@
+"""Ablation — how the cache learns bandwidth: oracle vs passive estimation.
+
+Section 2.7 of the paper discusses active and passive bandwidth measurement
+but the evaluation assumes the cache knows each path's average bandwidth.
+This ablation quantifies what changes when the PB policy has to rely on a
+passive EWMA estimate built from the throughput of completed transfers:
+the estimate starts wrong (a fixed prior) and converges as transfers to a
+server accumulate, so delay and quality degrade slightly relative to the
+oracle, while the overall ordering versus IF is preserved.
+"""
+
+from benchmarks.conftest import BENCH_RUNS, BENCH_SCALE, report, run_once
+from repro.analysis.experiments import build_workload, cache_sizes_gb_for
+from repro.core.policies import make_policy
+from repro.network.variability import MeasuredPathVariability
+from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.runner import compare_policies
+
+CACHE_FRACTION = 0.05
+
+
+def run_ablation():
+    workload = build_workload(scale=BENCH_SCALE, seed=0)
+    cache_gb = cache_sizes_gb_for(workload, (CACHE_FRACTION,))[0]
+    results = {}
+    for label, knowledge in (
+        ("oracle", BandwidthKnowledge.ORACLE),
+        ("passive", BandwidthKnowledge.PASSIVE),
+    ):
+        config = SimulationConfig(
+            cache_size_gb=cache_gb,
+            variability=MeasuredPathVariability("average"),
+            bandwidth_knowledge=knowledge,
+            seed=0,
+        )
+        comparison = compare_policies(
+            workload,
+            {"PB": lambda: make_policy("PB"), "IF": lambda: make_policy("IF")},
+            config,
+            num_runs=BENCH_RUNS,
+        )
+        results[label] = comparison
+    return results
+
+
+def test_ablation_bandwidth_knowledge(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    oracle = results["oracle"].metrics_by_policy["PB"]
+    passive = results["passive"].metrics_by_policy["PB"]
+
+    print()
+    print("== ablation: bandwidth knowledge (PB policy) ==")
+    print(f"{'knowledge':10} {'delay (s)':>10} {'quality':>9} {'traffic reduction':>18}")
+    for label, comparison in results.items():
+        metrics = comparison.metrics_by_policy["PB"]
+        print(
+            f"{label:10} {metrics.average_service_delay:10.1f} "
+            f"{metrics.average_stream_quality:9.3f} "
+            f"{metrics.traffic_reduction_ratio:18.3f}"
+        )
+    benchmark.extra_info.update(
+        {
+            "oracle_delay": round(oracle.average_service_delay, 2),
+            "passive_delay": round(passive.average_service_delay, 2),
+        }
+    )
+
+    # Passive estimation costs something but not everything: delay within 2x
+    # of the oracle, and still clearly better than the network-unaware IF.
+    assert passive.average_service_delay <= oracle.average_service_delay * 2.0
+    passive_if = results["passive"].metrics_by_policy["IF"]
+    assert passive.average_service_delay <= passive_if.average_service_delay

@@ -1,0 +1,109 @@
+"""Ablations — warm-up protocol, and the classic baselines (LRU/GDS) vs PB.
+
+Two of the design decisions DESIGN.md calls out:
+
+* **Warm-up protocol** — the paper measures metrics over the second half of
+  the trace after warming the cache with the first half (Section 4.1).
+  Measuring from a cold cache inflates delays for every policy; this
+  ablation quantifies by how much.
+* **Utility key** — the paper's IF strawman is LFU-like; real proxies of the
+  era shipped LRU or GreedyDual-Size.  This ablation confirms the
+  network-aware PB policy also beats those classic baselines on the
+  delay/quality metrics, which is the practically relevant comparison for
+  anyone replacing a production cache policy.
+"""
+
+from benchmarks.conftest import BENCH_RUNS, BENCH_SCALE, report, run_once
+from repro.analysis.experiments import build_workload, cache_sizes_gb_for
+from repro.core.policies import make_policy
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import compare_policies
+
+CACHE_FRACTION = 0.05
+
+
+def run_warmup_ablation():
+    workload = build_workload(scale=BENCH_SCALE, seed=0)
+    cache_gb = cache_sizes_gb_for(workload, (CACHE_FRACTION,))[0]
+    results = {}
+    for label, warmup in (("warm (paper)", 0.5), ("cold start", 0.0)):
+        config = SimulationConfig(cache_size_gb=cache_gb, warmup_fraction=warmup, seed=0)
+        comparison = compare_policies(
+            workload, {"PB": lambda: make_policy("PB")}, config, num_runs=BENCH_RUNS
+        )
+        results[label] = comparison.metrics_by_policy["PB"]
+    return results
+
+
+def test_ablation_warmup_protocol(benchmark):
+    results = benchmark.pedantic(run_warmup_ablation, rounds=1, iterations=1)
+    print()
+    print("== ablation: warm-up protocol (PB policy) ==")
+    for label, metrics in results.items():
+        print(
+            f"{label:14} delay {metrics.average_service_delay:8.1f} s   "
+            f"traffic reduction {metrics.traffic_reduction_ratio:.3f}"
+        )
+    benchmark.extra_info.update(
+        {
+            "warm_delay": round(results["warm (paper)"].average_service_delay, 2),
+            "cold_delay": round(results["cold start"].average_service_delay, 2),
+        }
+    )
+    # A cold cache cannot do better than a warmed one on delay, and the cold
+    # measurement includes the (cache-less) start of the trace.
+    assert (
+        results["cold start"].average_service_delay
+        >= results["warm (paper)"].average_service_delay * 0.98
+    )
+    # Warm-up does not change what the cache is *for*: both configurations
+    # serve a meaningful share of bytes.
+    assert results["warm (paper)"].traffic_reduction_ratio > 0.0
+    assert results["cold start"].traffic_reduction_ratio > 0.0
+
+
+def run_baseline_comparison():
+    workload = build_workload(scale=BENCH_SCALE, seed=0)
+    cache_gb = cache_sizes_gb_for(workload, (CACHE_FRACTION,))[0]
+    config = SimulationConfig(cache_size_gb=cache_gb, seed=0)
+    return compare_policies(
+        workload,
+        {
+            "PB": lambda: make_policy("PB"),
+            "LRU": lambda: make_policy("LRU"),
+            "GDS": lambda: make_policy("GDS"),
+            "GDSP": lambda: make_policy("GDSP"),
+        },
+        config,
+        num_runs=BENCH_RUNS,
+    )
+
+
+def test_ablation_classic_baselines(benchmark):
+    comparison = benchmark.pedantic(run_baseline_comparison, rounds=1, iterations=1)
+    print()
+    print("== ablation: PB vs classic proxy-cache baselines ==")
+    print(f"{'policy':6} {'delay (s)':>10} {'quality':>9} {'traffic reduction':>18}")
+    for policy in comparison.policies():
+        metrics = comparison.metrics_by_policy[policy]
+        print(
+            f"{policy:6} {metrics.average_service_delay:10.1f} "
+            f"{metrics.average_stream_quality:9.3f} "
+            f"{metrics.traffic_reduction_ratio:18.3f}"
+        )
+    benchmark.extra_info.update(
+        {
+            policy: round(
+                comparison.metrics_by_policy[policy].average_service_delay, 2
+            )
+            for policy in comparison.policies()
+        }
+    )
+
+    delay = comparison.metric("average_service_delay")
+    quality = comparison.metric("average_stream_quality")
+    # The network-aware partial policy beats every network-unaware baseline on
+    # the metrics the paper optimises for.
+    for baseline in ("LRU", "GDS", "GDSP"):
+        assert delay["PB"] <= delay[baseline]
+        assert quality["PB"] >= quality[baseline] - 1e-9

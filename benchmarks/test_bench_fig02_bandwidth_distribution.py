@@ -1,0 +1,26 @@
+"""Figure 2 — Internet bandwidth distribution observed in NLANR cache logs.
+
+Regenerates the bandwidth histogram / CDF from the synthetic proxy-log
+substrate and checks the two fractions the paper quotes (37% of transfers
+below 50 KB/s, 56% below 100 KB/s).
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import experiment_fig2_bandwidth_distribution
+
+
+def test_fig2_bandwidth_distribution(benchmark):
+    result = run_once(
+        benchmark, experiment_fig2_bandwidth_distribution, num_records=20_000, seed=0
+    )
+    below_50 = result.data["fraction_below_50"]
+    below_100 = result.data["fraction_below_100"]
+    report(
+        benchmark,
+        result,
+        extra={"fraction_below_50": below_50, "fraction_below_100": below_100},
+    )
+    # Paper: 37% below 50 KB/s, 56% below 100 KB/s.
+    assert 0.25 < below_50 < 0.50
+    assert 0.45 < below_100 < 0.70
+    assert below_100 > below_50

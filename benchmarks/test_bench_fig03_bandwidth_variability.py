@@ -1,0 +1,26 @@
+"""Figure 3 — Sample-to-mean bandwidth ratio distribution from the cache logs.
+
+Regenerates the per-path sample-to-mean ratio statistics: roughly 70% of the
+samples fall within 0.5–1.5 times the path mean, with a heavy tail.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import experiment_fig3_bandwidth_variability
+
+
+def test_fig3_bandwidth_variability(benchmark):
+    result = run_once(
+        benchmark, experiment_fig3_bandwidth_variability, num_records=20_000, seed=0
+    )
+    in_band = result.data["fraction_in_half_band"]
+    cov = result.data["coefficient_of_variation"]
+    report(
+        benchmark,
+        result,
+        extra={"fraction_in_half_band": in_band, "coefficient_of_variation": cov},
+    )
+    # Paper: "in about 70% of the cases the sample bandwidth is 0.5-1.5x the mean".
+    assert 0.55 < in_band < 0.85
+    # The NLANR model is the high-variability one.
+    assert cov > 0.4
+    assert result.data["max_ratio"] > 1.5

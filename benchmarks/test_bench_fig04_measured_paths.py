@@ -1,0 +1,27 @@
+"""Figure 4 — Bandwidth variation of measured Internet paths.
+
+Regenerates the three measured-path time series (INRIA, Taiwan, Hong Kong)
+and their sample-to-mean ratio statistics, verifying they are all much less
+variable than the NLANR cache-log model and that INRIA is the smoothest.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import experiment_fig4_measured_paths
+from repro.network.variability import NLANRRatioVariability
+
+
+def test_fig4_measured_paths(benchmark):
+    result = run_once(benchmark, experiment_fig4_measured_paths, seed=0)
+    covs = result.data["coefficients_of_variation"]
+    report(benchmark, result, extra={f"cov_{name}": value for name, value in covs.items()})
+
+    nlanr_cov = NLANRRatioVariability().coefficient_of_variation()
+    # Paper: all measured paths have much lower variability than the NLANR logs.
+    for cov in covs.values():
+        assert cov < nlanr_cov
+    # Paper: the INRIA path appears to have much lower variability than the others.
+    assert covs["inria"] == min(covs.values())
+    # Time series have the published sampling structure (one sample / 4 minutes).
+    inria = result.data["paths"]["inria"]
+    assert len(inria["times_hours"]) == len(inria["bandwidth_kbps"])
+    assert len(inria["bandwidth_kbps"]) > 300

@@ -1,0 +1,65 @@
+"""Figure 5 — IF vs PB vs IB under the constant-bandwidth assumption.
+
+Regenerates the three panels (traffic reduction ratio, average service
+delay, average stream quality as functions of cache size) and asserts the
+orderings the paper reports: IF reduces the most traffic, PB achieves the
+lowest delay and the highest quality, IB lies in between.
+"""
+
+from benchmarks.conftest import (
+    BENCH_CACHE_FRACTIONS,
+    BENCH_RUNS,
+    BENCH_SCALE,
+    report,
+    run_once,
+    summarize_sweep,
+)
+from repro.analysis.experiments import experiment_fig5_constant_bandwidth
+
+
+def test_fig5_constant_bandwidth(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig5_constant_bandwidth,
+        scale=BENCH_SCALE,
+        num_runs=BENCH_RUNS,
+        cache_fractions=BENCH_CACHE_FRACTIONS,
+        seed=0,
+    )
+    sweep = result.data["sweep"]
+    extra = {}
+    for metric in ("traffic_reduction_ratio", "average_service_delay", "average_stream_quality"):
+        extra.update(summarize_sweep(sweep, metric))
+    report(benchmark, result, extra=extra)
+
+    # Check the orderings at every cache size.  A small slack absorbs the
+    # run-to-run noise of the reduced benchmark scale; the full-scale curves
+    # in the paper do not cross at all.
+    slack = 0.02
+    for index in range(len(sweep.parameter_values)):
+        trr = {p: sweep.series(p, "traffic_reduction_ratio")[index] for p in sweep.policies()}
+        delay = {p: sweep.series(p, "average_service_delay")[index] for p in sweep.policies()}
+        quality = {p: sweep.series(p, "average_stream_quality")[index] for p in sweep.policies()}
+        # Figure 5(a): IF highest traffic reduction, PB lowest.
+        assert trr["IF"] >= trr["IB"] * (1 - slack) >= trr["PB"] * (1 - slack) ** 2
+        # Figure 5(b): PB lowest delay, IF highest; IB in between.
+        assert delay["PB"] <= delay["IB"] * (1 + slack) <= delay["IF"] * (1 + slack) ** 2
+        # Figure 5(c): PB highest quality, IF lowest.
+        assert quality["PB"] >= quality["IB"] * (1 - slack) >= quality["IF"] * (1 - slack) ** 2
+
+    # At the largest cache size the separation is clear: strict ordering holds.
+    last = len(sweep.parameter_values) - 1
+    assert sweep.series("IF", "traffic_reduction_ratio")[last] > sweep.series(
+        "PB", "traffic_reduction_ratio"
+    )[last]
+    assert sweep.series("PB", "average_service_delay")[last] < sweep.series(
+        "IF", "average_service_delay"
+    )[last]
+    assert sweep.series("PB", "average_stream_quality")[last] > sweep.series(
+        "IF", "average_stream_quality"
+    )[last]
+
+    # Larger caches monotonically improve every policy's delay.
+    for policy in sweep.policies():
+        series = sweep.series(policy, "average_service_delay")
+        assert series[-1] <= series[0]

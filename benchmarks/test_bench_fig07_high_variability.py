@@ -1,0 +1,74 @@
+"""Figure 7 — IF / PB / IB under high (cache-log) bandwidth variability.
+
+Regenerates the Figure 5 panels with per-request bandwidth drawn from the
+NLANR sample-to-mean model.  The paper's observations: traffic reduction is
+essentially unchanged versus the constant-bandwidth case, but delays rise
+and quality drops for all policies, and PB loses its delay advantage (IB is
+no worse than PB).
+"""
+
+from benchmarks.conftest import (
+    BENCH_CACHE_FRACTIONS,
+    BENCH_RUNS,
+    BENCH_SCALE,
+    report,
+    run_once,
+    summarize_sweep,
+)
+from repro.analysis.experiments import (
+    experiment_fig5_constant_bandwidth,
+    experiment_fig7_high_variability,
+)
+
+
+def test_fig7_high_variability(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig7_high_variability,
+        scale=BENCH_SCALE,
+        num_runs=BENCH_RUNS,
+        cache_fractions=BENCH_CACHE_FRACTIONS,
+        seed=0,
+    )
+    sweep = result.data["sweep"]
+    extra = {}
+    for metric in ("traffic_reduction_ratio", "average_service_delay", "average_stream_quality"):
+        extra.update(summarize_sweep(sweep, metric))
+    report(benchmark, result, extra=extra)
+
+    # Reference: the same configuration under constant bandwidth (Figure 5).
+    constant = experiment_fig5_constant_bandwidth(
+        scale=BENCH_SCALE,
+        num_runs=BENCH_RUNS,
+        cache_fractions=BENCH_CACHE_FRACTIONS,
+        seed=0,
+    ).data["sweep"]
+
+    for policy in sweep.policies():
+        # Variability increases delay and degrades quality for every policy.
+        assert (
+            sweep.series(policy, "average_service_delay")[-1]
+            >= constant.series(policy, "average_service_delay")[-1]
+        )
+        assert (
+            sweep.series(policy, "average_stream_quality")[-1]
+            <= constant.series(policy, "average_stream_quality")[-1] + 0.02
+        )
+        # Traffic reduction barely changes (Figure 7(a) vs Figure 5(a)).
+        assert sweep.series(policy, "traffic_reduction_ratio")[-1] == (
+            constant.series(policy, "traffic_reduction_ratio")[-1]
+        ) or abs(
+            sweep.series(policy, "traffic_reduction_ratio")[-1]
+            - constant.series(policy, "traffic_reduction_ratio")[-1]
+        ) < 0.08
+
+    # Under high variability IB is no worse than PB on delay (within noise).
+    assert (
+        sweep.series("IB", "average_service_delay")[-1]
+        <= sweep.series("PB", "average_service_delay")[-1] * 1.25
+    )
+    # The network-aware policies still beat IF on delay.
+    assert (
+        sweep.series("PB", "average_service_delay")[-1]
+        <= sweep.series("IF", "average_service_delay")[-1]
+    )

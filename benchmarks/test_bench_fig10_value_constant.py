@@ -1,0 +1,49 @@
+"""Figure 10 — Value-based caching under constant bandwidth.
+
+Regenerates the traffic-reduction and total-added-value panels for IF, PB-V,
+and IB-V.  The paper's observations: IF achieves the highest traffic
+reduction but is not effective at maximising added value; PB-V yields the
+highest added value; IB-V strikes a balance between the two.
+"""
+
+from benchmarks.conftest import (
+    BENCH_CACHE_FRACTIONS,
+    BENCH_RUNS,
+    BENCH_SCALE,
+    report,
+    run_once,
+    summarize_sweep,
+)
+from repro.analysis.experiments import experiment_fig10_value_constant
+
+
+def test_fig10_value_based_constant_bandwidth(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_fig10_value_constant,
+        scale=BENCH_SCALE,
+        num_runs=BENCH_RUNS,
+        cache_fractions=BENCH_CACHE_FRACTIONS,
+        seed=0,
+    )
+    sweep = result.data["sweep"]
+    extra = {}
+    for metric in ("traffic_reduction_ratio", "total_added_value"):
+        extra.update(summarize_sweep(sweep, metric))
+    report(benchmark, result, extra=extra)
+
+    for index in range(len(sweep.parameter_values)):
+        trr = {p: sweep.series(p, "traffic_reduction_ratio")[index] for p in sweep.policies()}
+        value = {p: sweep.series(p, "total_added_value")[index] for p in sweep.policies()}
+        # Figure 10(a): IF reduces the most traffic.
+        assert trr["IF"] >= trr["IB-V"] * 0.98
+        assert trr["IF"] >= trr["PB-V"] * 0.98
+        # Figure 10(b): the value-aware policies add at least as much value as IF.
+        assert value["PB-V"] >= value["IF"] * 0.98
+        assert value["IB-V"] >= value["IF"] * 0.98
+
+    # At the largest cache the value-based partial policy clearly beats IF on value.
+    last = len(sweep.parameter_values) - 1
+    assert sweep.series("PB-V", "total_added_value")[last] > sweep.series(
+        "IF", "total_added_value"
+    )[last]

@@ -1,0 +1,38 @@
+"""Table 1 — Characteristics of the synthetic workload.
+
+Regenerates the GISMO workload at a reduced scale and checks that every
+characteristic listed in Table 1 (object count, request count, Zipf
+popularity, lognormal durations, 48 KB/s bit-rate, ~790 GB total unique
+size when extrapolated to full scale) is reproduced.
+"""
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import experiment_table1_workload
+
+#: Scale used for the benchmark; totals are extrapolated back to full scale.
+SCALE = 0.1
+
+
+def test_table1_workload_characteristics(benchmark):
+    result = run_once(benchmark, experiment_table1_workload, scale=SCALE, seed=0)
+    summary = result.data["summary"]
+    extrapolated_total_gb = summary["total_size_gb"] / SCALE
+    report(
+        benchmark,
+        result,
+        extra={
+            "objects": summary["objects"],
+            "requests": summary["requests"],
+            "extrapolated_total_gb": extrapolated_total_gb,
+            "mean_duration_minutes": summary["mean_duration_s"] / 60.0,
+        },
+    )
+    assert summary["objects"] == 5_000 * SCALE
+    assert summary["requests"] == 100_000 * SCALE
+    assert summary["zipf_alpha"] == pytest.approx(0.73)
+    assert summary["mean_bitrate_kbps"] == pytest.approx(48.0)
+    # Mean duration about 55 minutes, total unique size about 790 GB.
+    assert summary["mean_duration_s"] / 60.0 == pytest.approx(55.0, rel=0.15)
+    assert extrapolated_total_gb == pytest.approx(790.0, rel=0.15)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Scenario: combining partial caching with batching/patching at the proxy.
+
+The paper's future-work section proposes combining network-aware partial
+caching with batching and patching.  This script measures that combination:
+
+* baseline — every request opens its own origin-server stream,
+* batching — requests arriving while a stream for the same object is still
+  in flight join it and only fetch the part they missed (the patch),
+* batching + prefix caching — additionally, the cache holds the paper's
+  ``(r − b)·T`` prefix for bottlenecked objects, which absorbs most patches.
+
+Run with::
+
+    python examples/batching_and_partial_caching.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GismoWorkloadGenerator, SimulationConfig, WorkloadConfig
+from repro.sim.sharing import (
+    StreamSharingAnalyzer,
+    prefix_function_for_bandwidth,
+    sharing_summary_rows,
+)
+from repro.sim.simulator import ProxyCacheSimulator
+
+
+def main() -> None:
+    # A denser request stream than the default (one request per second) so
+    # overlapping interest in the same objects actually occurs.
+    config = WorkloadConfig(seed=21, arrival_rate=1.0).scaled(0.1)
+    workload = GismoWorkloadGenerator(config).generate()
+
+    # Per-object base bandwidth from the standard NLANR topology draw.
+    sim_config = SimulationConfig(cache_size_gb=1.0, seed=3)
+    topology = ProxyCacheSimulator(workload, sim_config).build_topology(
+        np.random.default_rng(sim_config.seed)
+    )
+    bandwidths = {
+        obj.object_id: topology.path_for(obj).base_bandwidth
+        for obj in workload.catalog
+    }
+
+    reports = {
+        "batching only": StreamSharingAnalyzer(workload.catalog).analyze(workload.trace),
+        "batching + (r-b)T prefixes": StreamSharingAnalyzer(
+            workload.catalog,
+            prefix_for=prefix_function_for_bandwidth(bandwidths),
+        ).analyze(workload.trace),
+        "batching, 60 s window": StreamSharingAnalyzer(
+            workload.catalog, batching_window=60.0
+        ).analyze(workload.trace),
+    }
+
+    print("Stream sharing on a GISMO trace "
+          f"({len(workload.trace)} requests, {len(workload.catalog)} objects)\n")
+    header = (f"{'configuration':28} {'server bytes saved':>19} {'join ratio':>11} "
+              f"{'batches':>8} {'patch from cache':>17}")
+    print(header)
+    print("-" * len(header))
+    for row in sharing_summary_rows(reports):
+        print(
+            f"{row['configuration']:28} {row['server_byte_savings']:19.1%} "
+            f"{row['join_ratio']:11.1%} {row['batches']:8.0f} "
+            f"{row['patch_absorbed_by_cache']:17.1%}"
+        )
+
+    print("\nBatching removes duplicate suffix transfers for popular objects, and the")
+    print("paper's delay-hiding prefixes double as patch storage for late joiners —")
+    print("the combination the authors list as future work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Scenario: a campus edge proxy accelerating distant streaming servers.
+
+This is the situation the paper's introduction motivates: clients behind a
+well-provisioned last mile request streaming lectures and news clips hosted
+on origin servers scattered across the Internet, many of them behind slow or
+lossy paths.  The campus deploys one proxy cache and has to choose a cache
+management policy.
+
+The script:
+
+* builds a workload whose objects live on servers with NLANR-like
+  heterogeneous path bandwidth,
+* adds realistic (measured-path) bandwidth variability,
+* compares the no-cache baseline against LRU, IF, IB, and PB at several
+  cache sizes, and
+* reports how much of the startup delay each policy removes.
+
+Run with::
+
+    python examples/campus_proxy_acceleration.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GismoWorkloadGenerator,
+    MeasuredPathVariability,
+    ProxyCacheSimulator,
+    SimulationConfig,
+    WorkloadConfig,
+    make_policy,
+)
+from repro.core.policies.optimal import StaticAllocationPolicy
+
+
+def no_cache_baseline(workload, variability, seed):
+    """Average delay/quality with no proxy cache at all (capacity 0)."""
+    config = SimulationConfig(cache_size_gb=0.0, variability=variability, seed=seed)
+    result = ProxyCacheSimulator(workload, config).run(
+        StaticAllocationPolicy({}, name="no-cache")
+    )
+    return result.metrics
+
+
+def main() -> None:
+    workload = GismoWorkloadGenerator(
+        WorkloadConfig(seed=3).scaled(0.1)
+    ).generate()
+    variability = MeasuredPathVariability("average")
+    seed = 11
+
+    baseline = no_cache_baseline(workload, variability, seed)
+    print("Campus proxy acceleration study")
+    print(f"  catalog: {len(workload.catalog)} objects, "
+          f"{workload.catalog.total_size_gb:.1f} GB unique bytes")
+    print(f"  no-cache baseline: avg startup delay {baseline.average_service_delay:.0f} s, "
+          f"avg stream quality {baseline.average_stream_quality:.3f}\n")
+
+    cache_fractions = (0.02, 0.05, 0.10)
+    policies = ("LRU", "IF", "IB", "PB")
+
+    for fraction in cache_fractions:
+        cache_gb = fraction * workload.catalog.total_size_gb
+        config = SimulationConfig(
+            cache_size_gb=cache_gb, variability=variability, seed=seed
+        )
+        print(f"cache = {cache_gb:.1f} GB ({fraction:.0%} of unique bytes)")
+        header = (f"  {'policy':6} {'delay (s)':>10} {'delay cut':>10} "
+                  f"{'quality':>8} {'traffic reduction':>18}")
+        print(header)
+        for name in policies:
+            result = ProxyCacheSimulator(workload, config).run(make_policy(name))
+            metrics = result.metrics
+            delay_cut = 1.0 - (
+                metrics.average_service_delay / baseline.average_service_delay
+                if baseline.average_service_delay > 0
+                else 0.0
+            )
+            print(
+                f"  {name:6} {metrics.average_service_delay:10.0f} {delay_cut:10.0%} "
+                f"{metrics.average_stream_quality:8.3f} "
+                f"{metrics.traffic_reduction_ratio:18.3f}"
+            )
+        print()
+
+    print("Reading the results: the network-aware policies (IB, PB) concentrate the")
+    print("cache on objects behind slow paths, so they remove far more startup delay")
+    print("per cached byte than LRU or IF even though they serve fewer bytes overall.")
+
+
+if __name__ == "__main__":
+    main()

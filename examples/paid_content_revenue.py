@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scenario: a paid-content provider maximising revenue with its edge cache.
+
+Section 2.6 of the paper considers a cache whose objective is not delay but
+*revenue*: each stream has a value, and the value is only earned when the
+stream can start immediately at full quality.  This script reproduces that
+setting:
+
+* every object carries a value drawn uniformly from $1-$10,
+* the cache compares the frequency-only IF policy against the value-aware
+  PB-V and IB-V policies, and against the hybrid PB-V(e) family that
+  deliberately under-estimates bandwidth,
+* the report shows total added value and traffic reduction side by side,
+  under realistic (measured-path) bandwidth variability.
+
+Run with::
+
+    python examples/paid_content_revenue.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GismoWorkloadGenerator,
+    MeasuredPathVariability,
+    ProxyCacheSimulator,
+    SimulationConfig,
+    WorkloadConfig,
+    make_policy,
+)
+
+
+def run(workload, config, policy):
+    return ProxyCacheSimulator(workload, config).run(policy).metrics
+
+
+def main() -> None:
+    workload = GismoWorkloadGenerator(WorkloadConfig(seed=5).scaled(0.1)).generate()
+    config = SimulationConfig(
+        cache_size_gb=0.05 * workload.catalog.total_size_gb,
+        variability=MeasuredPathVariability("average"),
+        seed=17,
+    )
+    # The maximum earnable value: every measured request served immediately.
+    total_possible = sum(
+        workload.catalog.get(request.object_id).value
+        for request in list(workload.trace)[len(workload.trace) // 2:]
+    )
+
+    print("Paid-content revenue study "
+          f"(cache {config.cache_size_gb:.1f} GB, measured-path variability)")
+    print(f"maximum earnable value over the measured half: ${total_possible:,.0f}\n")
+
+    header = f"{'policy':12} {'added value ($)':>16} {'% of maximum':>13} {'traffic reduction':>18}"
+    print(header)
+    print("-" * len(header))
+
+    named_policies = [
+        ("IF", make_policy("IF")),
+        ("IB-V", make_policy("IB-V")),
+        ("PB-V", make_policy("PB-V")),
+        ("PB-V(e=0.7)", make_policy("PB-V", estimator_e=0.7)),
+        ("PB-V(e=0.5)", make_policy("PB-V", estimator_e=0.5)),
+        ("PB-V(e=0.3)", make_policy("PB-V", estimator_e=0.3)),
+    ]
+    results = {}
+    for label, policy in named_policies:
+        metrics = run(workload, config, policy)
+        results[label] = metrics
+        print(
+            f"{label:12} {metrics.total_added_value:16,.0f} "
+            f"{metrics.total_added_value / total_possible:13.1%} "
+            f"{metrics.traffic_reduction_ratio:18.3f}"
+        )
+
+    best = max(results, key=lambda label: results[label].total_added_value)
+    print(f"\nBest revenue: {best}.")
+    print("The paper's Figure 12 finding is that a moderately conservative bandwidth")
+    print("estimate (e around 0.5) earns the most: it caches prefixes large enough to")
+    print("survive bandwidth dips without collapsing to whole-object caching.")
+
+
+if __name__ == "__main__":
+    main()

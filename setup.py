@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs (``pip install -e .``) work in offline environments whose
+setuptools predates native PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""Dependency-free ASCII plotting of experiment series.
+
+The evaluation figures of the paper are line charts (metric vs cache size,
+one line per policy) and histograms (bandwidth and ratio distributions).
+This module renders both as plain text so experiment output can be inspected
+directly in a terminal or pasted into EXPERIMENTS.md without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.sim.runner import SweepResult
+
+#: Characters used to distinguish the series of a line chart.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more y-series against shared x-values.
+
+    Each series is drawn with its own marker; the legend maps markers back
+    to series names.  Values are scaled to the joint y-range; a constant
+    chart (all values equal) is drawn as a flat line in the middle.
+    """
+    if not x_values:
+        raise ConfigurationError("x_values must be non-empty")
+    if not series:
+        raise ConfigurationError("series must be non-empty")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart must be at least 10x4 characters")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+
+    all_values = [value for values in series.values() for value in values]
+    y_min, y_max = min(all_values), max(all_values)
+    y_span = y_max - y_min
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = x_max - x_min
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def column(x: float) -> int:
+        if x_span == 0:
+            return width // 2
+        return int(round((x - x_min) / x_span * (width - 1)))
+
+    def row(y: float) -> int:
+        if y_span == 0:
+            return height // 2
+        return height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = SERIES_MARKERS[series_index % len(SERIES_MARKERS)]
+        for x, y in zip(x_values, values):
+            grid[row(y)][column(x)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for index, grid_row in enumerate(grid):
+        if index == 0:
+            label = top_label.rjust(label_width)
+        elif index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(grid_row)}")
+    x_axis = " " * label_width + " +" + "-" * width
+    lines.append(x_axis)
+    lines.append(
+        " " * (label_width + 2)
+        + f"{x_min:.4g}".ljust(width - 10)
+        + f"{x_max:.4g}".rjust(10)
+    )
+    legend = "   ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    bin_edges: Sequence[float],
+    counts: Sequence[float],
+    width: int = 50,
+    max_rows: int = 20,
+    title: str = "",
+) -> str:
+    """Render a histogram as horizontal bars, one row per (merged) bin."""
+    if len(bin_edges) != len(counts) + 1:
+        raise ConfigurationError(
+            f"expected {len(counts) + 1} bin edges, got {len(bin_edges)}"
+        )
+    if not counts:
+        raise ConfigurationError("counts must be non-empty")
+    if width < 5 or max_rows < 1:
+        raise ConfigurationError("histogram must be at least 5 wide and 1 row tall")
+
+    # Merge adjacent bins so at most max_rows rows are drawn.
+    merge = max(1, -(-len(counts) // max_rows))  # ceil division
+    merged_counts: List[float] = []
+    merged_labels: List[str] = []
+    for start in range(0, len(counts), merge):
+        stop = min(start + merge, len(counts))
+        merged_counts.append(float(sum(counts[start:stop])))
+        merged_labels.append(f"[{bin_edges[start]:.4g}, {bin_edges[stop]:.4g})")
+
+    peak = max(merged_counts)
+    label_width = max(len(label) for label in merged_labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, count in zip(merged_labels, merged_counts):
+        bar_length = 0 if peak == 0 else int(round(count / peak * width))
+        lines.append(f"{label.rjust(label_width)} | {'#' * bar_length} {count:.0f}")
+    return "\n".join(lines)
+
+
+def sweep_chart(sweep: SweepResult, metric_name: str, title: str = "", **kwargs) -> str:
+    """Convenience wrapper: chart one metric of a sweep, one line per policy."""
+    series = {
+        policy: sweep.series(policy, metric_name) for policy in sweep.policies()
+    }
+    return ascii_line_chart(
+        sweep.parameter_values,
+        series,
+        title=title or f"{metric_name} vs {sweep.parameter_name}",
+        **kwargs,
+    )

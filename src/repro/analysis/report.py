@@ -1,0 +1,141 @@
+"""Plain-text reporting of experiment results.
+
+The functions here turn :class:`~repro.sim.runner.SweepResult` and
+:class:`~repro.sim.runner.PolicyComparison` objects into aligned text tables
+of the kind the benchmark harness prints, mirroring the series each paper
+figure plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.experiments import ExperimentResult
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.runner import PolicyComparison, SweepResult
+
+#: The metrics that correspond to the y-axes of the paper's figures.
+FIGURE_METRICS: Dict[str, str] = {
+    "traffic_reduction_ratio": "Traffic Reduction Ratio",
+    "average_service_delay": "Average Service Delay (s)",
+    "average_stream_quality": "Average Stream Quality",
+    "total_added_value": "Total Added Value ($)",
+}
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+
+def format_sweep_table(sweep: SweepResult, metric_name: str, precision: int = 4) -> str:
+    """Render one metric of a sweep as an aligned text table.
+
+    The first column is the swept parameter; one column follows per policy,
+    matching the curves in the corresponding paper figure.
+    """
+    policies = sweep.policies()
+    header = [sweep.parameter_name] + policies
+    rows: List[List[str]] = []
+    for index, value in enumerate(sweep.parameter_values):
+        row = [f"{value:.4g}"]
+        for policy in policies:
+            metric_value = getattr(sweep.metrics[policy][index], metric_name)
+            row.append(f"{metric_value:.{precision}g}")
+        rows.append(row)
+    widths = [
+        max(len(header[col]), max((len(r[col]) for r in rows), default=0))
+        for col in range(len(header))
+    ]
+    lines = [_format_row(header, widths), _format_row(["-" * w for w in widths], widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_comparison(comparison: PolicyComparison, precision: int = 4) -> str:
+    """Render a policy comparison (all figure metrics, one row per policy)."""
+    metric_names = list(FIGURE_METRICS)
+    header = ["policy"] + [FIGURE_METRICS[name] for name in metric_names]
+    rows: List[List[str]] = []
+    for policy in comparison.policies():
+        metrics = comparison.metrics_by_policy[policy]
+        row = [policy] + [
+            f"{getattr(metrics, name):.{precision}g}" for name in metric_names
+        ]
+        rows.append(row)
+    widths = [
+        max(len(header[col]), max((len(r[col]) for r in rows), default=0))
+        for col in range(len(header))
+    ]
+    lines = [_format_row(header, widths), _format_row(["-" * w for w in widths], widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_metrics(metrics: SimulationMetrics, precision: int = 4) -> str:
+    """Render one metrics object as ``name: value`` lines."""
+    lines = []
+    for key, value in metrics.as_dict().items():
+        lines.append(f"{key}: {value:.{precision}g}")
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` the way the benchmarks print it.
+
+    Sweep-based experiments get one table per figure metric; scalar-valued
+    experiments (the bandwidth-model figures and Table 1) get key/value
+    lines.  Paper notes are appended so the console output is
+    self-describing.
+    """
+    lines: List[str] = [f"== {result.experiment_id}: {result.title} =="]
+
+    sweep = result.data.get("sweep")
+    if isinstance(sweep, SweepResult):
+        for metric_name, label in FIGURE_METRICS.items():
+            lines.append("")
+            lines.append(f"-- {label} --")
+            lines.append(format_sweep_table(sweep, metric_name))
+
+    sweeps_by_key = None
+    for key in ("sweeps_by_alpha", "sweeps_by_e"):
+        if key in result.data:
+            sweeps_by_key = (key, result.data[key])
+    if sweeps_by_key is not None:
+        key_name, surfaces = sweeps_by_key
+        for parameter_value, surface in surfaces.items():
+            lines.append("")
+            lines.append(f"-- {key_name[10:] or 'value'} = {parameter_value} --")
+            lines.append(format_sweep_table(surface, "traffic_reduction_ratio"))
+            lines.append(format_sweep_table(surface, "average_service_delay"))
+
+    scalar_keys = [
+        "fraction_below_50",
+        "fraction_below_100",
+        "sample_count",
+        "mean_bandwidth",
+        "coefficient_of_variation",
+        "fraction_in_half_band",
+        "mean",
+        "max_ratio",
+    ]
+    scalars = {key: result.data[key] for key in scalar_keys if key in result.data}
+    if scalars:
+        lines.append("")
+        for key, value in scalars.items():
+            lines.append(f"{key}: {float(value):.4g}")
+
+    if "summary" in result.data:
+        lines.append("")
+        for key, value in dict(result.data["summary"]).items():
+            lines.append(f"{key}: {float(value):.6g}")
+
+    if "coefficients_of_variation" in result.data:
+        lines.append("")
+        for path, cov in result.data["coefficients_of_variation"].items():
+            lines.append(f"cov[{path}]: {float(cov):.4g}")
+
+    if result.notes:
+        lines.append("")
+        lines.append("Paper reference:")
+        lines.extend(f"  {note}" for note in result.notes)
+    return "\n".join(lines)

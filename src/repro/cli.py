@@ -1,0 +1,130 @@
+"""Command-line front-end: ``repro-sim`` / ``python -m repro``.
+
+Two sub-commands cover the common uses:
+
+* ``repro-sim run`` — run one policy on a Table 1-style workload and print
+  the headline metrics,
+* ``repro-sim experiment`` — regenerate one of the paper's figures
+  (``fig2`` … ``fig12`` or ``tab1``) and print its series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis import experiments as exp
+from repro.analysis.report import render_experiment
+from repro.core.policies import make_policy
+from repro.network.variability import (
+    ConstantVariability,
+    MeasuredPathVariability,
+    NLANRRatioVariability,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import ProxyCacheSimulator
+from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
+
+#: Experiment name to entry-point mapping for the ``experiment`` sub-command.
+EXPERIMENTS: Dict[str, Callable[..., exp.ExperimentResult]] = {
+    "fig2": exp.experiment_fig2_bandwidth_distribution,
+    "fig3": exp.experiment_fig3_bandwidth_variability,
+    "fig4": exp.experiment_fig4_measured_paths,
+    "fig5": exp.experiment_fig5_constant_bandwidth,
+    "fig6": exp.experiment_fig6_zipf_sweep,
+    "fig7": exp.experiment_fig7_high_variability,
+    "fig8": exp.experiment_fig8_low_variability,
+    "fig9": exp.experiment_fig9_estimator_sweep,
+    "fig10": exp.experiment_fig10_value_constant,
+    "fig11": exp.experiment_fig11_value_variable,
+    "fig12": exp.experiment_fig12_value_estimator,
+    "tab1": exp.experiment_table1_workload,
+}
+
+VARIABILITY_MODELS = {
+    "constant": ConstantVariability,
+    "nlanr": NLANRRatioVariability,
+    "measured": lambda: MeasuredPathVariability("average"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Network-aware partial caching simulator (Jin et al., ICDCS 2002).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one policy and print its metrics")
+    run.add_argument("--policy", default="PB", help="IF, PB, IB, PB-V, IB-V, LRU, LFU")
+    run.add_argument("--estimator-e", type=float, default=None,
+                     help="bandwidth under-estimation factor for PB/PB-V")
+    run.add_argument("--cache-gb", type=float, default=8.0, help="cache size in GB")
+    run.add_argument("--scale", type=float, default=0.1,
+                     help="fraction of the paper's workload volume")
+    run.add_argument("--variability", choices=sorted(VARIABILITY_MODELS), default="constant")
+    run.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures/tables"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=None,
+                            help="workload scale (simulation experiments only)")
+    experiment.add_argument("--runs", type=int, default=None,
+                            help="number of runs to average (simulation experiments only)")
+    experiment.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    workload_config = WorkloadConfig(seed=args.seed)
+    if args.scale != 1.0:
+        workload_config = workload_config.scaled(args.scale)
+    workload = GismoWorkloadGenerator(workload_config).generate()
+    config = SimulationConfig(
+        cache_size_gb=args.cache_gb,
+        variability=VARIABILITY_MODELS[args.variability](),
+        seed=args.seed,
+    )
+    policy = make_policy(args.policy, estimator_e=args.estimator_e)
+    result = ProxyCacheSimulator(workload, config).run(policy)
+    print(f"policy: {result.policy_name}")
+    print(f"cache size: {args.cache_gb} GB "
+          f"({config.cache_fraction_of(workload.catalog.total_size):.1%} of unique bytes)")
+    for key, value in result.metrics.as_dict().items():
+        print(f"{key}: {value:.6g}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    entry_point = EXPERIMENTS[args.name]
+    kwargs = {"seed": args.seed}
+    if args.name not in ("fig2", "fig3", "fig4", "tab1"):
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if args.runs is not None:
+            kwargs["num_runs"] = args.runs
+    elif args.name == "tab1" and args.scale is not None:
+        kwargs["scale"] = args.scale
+    result = entry_point(**kwargs)
+    print(render_experiment(result))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``repro-sim`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _run_single(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

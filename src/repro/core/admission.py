@@ -1,0 +1,63 @@
+"""Optional admission filters.
+
+Admission control is orthogonal to the replacement policies the paper
+studies: a filter can veto caching an object at all (for example objects
+larger than a threshold, or objects whose path already has abundant
+bandwidth — although the network-aware policies enforce that second rule
+themselves through their cache-size target).  The simulator applies the
+filter, if any, before handing the request to the policy.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.workload.catalog import MediaObject
+
+
+class AdmissionFilter:
+    """Interface: decide whether an object may be cached at all."""
+
+    def admits(self, obj: MediaObject, bandwidth: float) -> bool:
+        """Return True when the object is allowed into the cache."""
+        raise NotImplementedError
+
+
+class AlwaysAdmit(AdmissionFilter):
+    """Admit everything (the default)."""
+
+    def admits(self, obj: MediaObject, bandwidth: float) -> bool:
+        return True
+
+
+class SizeThresholdAdmission(AdmissionFilter):
+    """Reject objects larger than ``max_size_kb``.
+
+    Useful for studying how protecting the cache from very large objects
+    interacts with the bandwidth-aware policies.
+    """
+
+    def __init__(self, max_size_kb: float):
+        if max_size_kb <= 0:
+            raise ConfigurationError(f"max_size_kb must be positive, got {max_size_kb}")
+        self.max_size_kb = float(max_size_kb)
+
+    def admits(self, obj: MediaObject, bandwidth: float) -> bool:
+        return obj.size <= self.max_size_kb
+
+
+class BandwidthThresholdAdmission(AdmissionFilter):
+    """Reject objects whose path bandwidth already exceeds a threshold.
+
+    This makes the "don't cache what streams fine anyway" rule available to
+    policies (such as LRU/LFU/IF) that are not themselves network-aware.
+    """
+
+    def __init__(self, min_deficit_kbps: float = 0.0):
+        if min_deficit_kbps < 0:
+            raise ConfigurationError(
+                f"min_deficit_kbps must be non-negative, got {min_deficit_kbps}"
+            )
+        self.min_deficit_kbps = float(min_deficit_kbps)
+
+    def admits(self, obj: MediaObject, bandwidth: float) -> bool:
+        return obj.bitrate - bandwidth > self.min_deficit_kbps

@@ -1,0 +1,85 @@
+"""Online request-frequency estimation.
+
+The paper's replacement algorithms approximate the unknown request arrival
+rate ``lambda_i`` of each object by "recording the number (or frequency) of
+requests to each object", denoted ``F_i`` (Section 2.4).  The tracker below
+supports both the plain cumulative count the paper describes and an optional
+exponential decay so long-running deployments can age out stale popularity
+(an extension the paper lists under future work on long-term popularity).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class FrequencyTracker:
+    """Track per-object request frequencies ``F_i``.
+
+    Parameters
+    ----------
+    decay_half_life:
+        When ``None`` (the default, and the paper's behaviour) frequencies
+        are plain cumulative counts.  When set to a positive number of
+        seconds, each count decays exponentially with that half-life, so
+        ``F_i`` estimates a recent request *rate* rather than an all-time
+        count.
+    """
+
+    def __init__(self, decay_half_life: float = None):
+        if decay_half_life is not None and decay_half_life <= 0:
+            raise ConfigurationError(
+                f"decay_half_life must be positive, got {decay_half_life}"
+            )
+        self.decay_half_life = decay_half_life
+        self._counts: Dict[int, float] = {}
+        self._last_update: Dict[int, float] = {}
+        self._total_requests = 0
+
+    @property
+    def total_requests(self) -> int:
+        """Number of requests recorded so far."""
+        return self._total_requests
+
+    def _decayed(self, object_id: int, now: float) -> float:
+        count = self._counts.get(object_id, 0.0)
+        if count == 0.0 or self.decay_half_life is None:
+            return count
+        elapsed = max(now - self._last_update.get(object_id, now), 0.0)
+        if elapsed == 0.0:
+            return count
+        return count * math.pow(0.5, elapsed / self.decay_half_life)
+
+    def record(self, object_id: int, now: float = 0.0) -> float:
+        """Record one request and return the updated frequency."""
+        updated = self._decayed(object_id, now) + 1.0
+        self._counts[object_id] = updated
+        self._last_update[object_id] = now
+        self._total_requests += 1
+        return updated
+
+    def frequency(self, object_id: int, now: float = 0.0) -> float:
+        """Current frequency estimate ``F_i`` (0 for never-seen objects)."""
+        return self._decayed(object_id, now)
+
+    def known_objects(self) -> List[int]:
+        """Objects with at least one recorded request."""
+        return list(self._counts.keys())
+
+    def top(self, count: int = 10, now: float = 0.0) -> List[Tuple[int, float]]:
+        """The ``count`` most frequently requested objects."""
+        ranked = sorted(
+            ((oid, self._decayed(oid, now)) for oid in self._counts),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[:count]
+
+    def reset(self) -> None:
+        """Forget all recorded requests."""
+        self._counts.clear()
+        self._last_update.clear()
+        self._total_requests = 0

@@ -1,0 +1,94 @@
+"""The network-aware policies: PB, IB, and the hybrid estimator-``e`` family.
+
+These are the paper's contribution (Sections 2.3–2.5):
+
+* **PB (Partial Bandwidth-based)** approximates the fractional-knapsack
+  optimum online: objects are prioritised by ``F_i / b_i`` and only the
+  prefix ``(r_i − b_i) T_i`` that is actually needed to hide the bandwidth
+  deficit is cached.  Objects whose path already delivers at least the
+  bit-rate are not cached at all.
+* **IB (Integral Bandwidth-based)** uses the same priority but caches whole
+  objects.  It is the most conservative point of the over-provisioning
+  heuristic of Section 2.5 and is robust to bandwidth variability at the
+  cost of fitting fewer objects.
+* **HybridPartialBandwidth** spans the spectrum between the two: the path
+  bandwidth is deliberately under-estimated by a factor ``e`` in ``(0, 1]``,
+  so the cached prefix grows to ``(r_i − e·b_i) T_i``.  ``e = 1`` recovers
+  PB; ``e → 0`` approaches IB (Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import CachePolicy, PolicyContext
+from repro.exceptions import ConfigurationError
+from repro.units import positive_part
+from repro.workload.catalog import MediaObject
+
+
+class HybridPartialBandwidthPolicy(CachePolicy):
+    """Partial bandwidth-based caching with bandwidth under-estimation.
+
+    Parameters
+    ----------
+    estimator_e:
+        The under-estimation factor ``e`` of Section 2.5, in ``(0, 1]``.
+        The policy behaves as if the path to each origin server had
+        bandwidth ``e * b`` rather than ``b``: it caches a prefix of
+        ``(r − e·b)+ · T`` kilobytes and keys the priority heap on
+        ``F / (e·b)`` (which orders objects identically to ``F / b`` but is
+        kept in un-normalised form so mixed-``e`` experiments remain
+        comparable).
+    """
+
+    allows_partial = True
+
+    def __init__(self, estimator_e: float = 1.0, **kwargs):
+        if not 0.0 < estimator_e <= 1.0:
+            raise ConfigurationError(
+                f"estimator_e must be in (0, 1], got {estimator_e}"
+            )
+        super().__init__(**kwargs)
+        self.estimator_e = float(estimator_e)
+        self.name = f"PB(e={self.estimator_e:g})"
+
+    def effective_bandwidth(self, ctx: PolicyContext) -> float:
+        """The deliberately conservative bandwidth estimate ``e * b``."""
+        return max(ctx.bandwidth * self.estimator_e, 1e-9)
+
+    def utility(self, obj: MediaObject, ctx: PolicyContext) -> float:
+        return ctx.frequency / self.effective_bandwidth(ctx)
+
+    def target_cache_bytes(self, obj: MediaObject, ctx: PolicyContext) -> float:
+        deficit = positive_part(obj.bitrate - self.effective_bandwidth(ctx))
+        return deficit * obj.duration
+
+
+class PartialBandwidthPolicy(HybridPartialBandwidthPolicy):
+    """PB: the pure partial bandwidth-based policy (``e = 1``)."""
+
+    name = "PB"
+
+    def __init__(self, **kwargs):
+        super().__init__(estimator_e=1.0, **kwargs)
+        self.name = "PB"
+
+
+class IntegralBandwidthPolicy(CachePolicy):
+    """IB: cache whole objects, prioritised by ``F_i / b_i``.
+
+    Like PB it skips objects whose path bandwidth already covers their
+    bit-rate; unlike PB it caches the entire object (the most conservative
+    over-provisioning choice), which keeps it effective when bandwidth
+    varies drastically over time (Section 4.3).
+    """
+
+    name = "IB"
+    allows_partial = False
+
+    def utility(self, obj: MediaObject, ctx: PolicyContext) -> float:
+        return ctx.frequency / max(ctx.bandwidth, 1e-9)
+
+    def target_cache_bytes(self, obj: MediaObject, ctx: PolicyContext) -> float:
+        if obj.bitrate <= ctx.bandwidth:
+            return 0.0
+        return obj.size

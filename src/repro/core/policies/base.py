@@ -1,0 +1,287 @@
+"""Policy framework: the utility-keyed priority-heap replacement engine.
+
+Every online policy in the paper follows the same skeleton (Section 2.4):
+maintain a per-object *utility* value, estimate request frequency online,
+and on each request try to cache a per-object *target* number of bytes,
+evicting the lowest-utility cached content to make room — but never
+evicting content whose utility is at least that of the requested object.
+Concrete policies differ only in two functions:
+
+* :meth:`CachePolicy.utility` — the priority key (e.g. ``F`` for IF,
+  ``F / b`` for PB/IB, ``F V / (T r − T b)`` for PB-V), and
+* :meth:`CachePolicy.target_cache_bytes` — how much of the object is worth
+  caching (the whole object for integral policies, the
+  ``(r − b) T`` prefix for partial ones, zero when bandwidth is abundant).
+
+The engine implements the replacement loop once, with the priority queue
+("heap which uses the utility value as the key", Section 2.4) shared by all
+policies.  Partial policies may trim the marginal victim and may admit the
+requested object partially (the fractional-knapsack behaviour); integral
+policies evict and admit whole objects only.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.frequency import FrequencyTracker
+from repro.core.store import CacheStore
+from repro.exceptions import PolicyError
+from repro.workload.catalog import MediaObject
+
+#: Byte tolerance below which two cache sizes are considered equal.
+_EPSILON_KB = 1e-6
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Per-request information a policy's utility/target functions may use.
+
+    Attributes
+    ----------
+    now:
+        Simulation time of the request (seconds).
+    bandwidth:
+        The bandwidth (KB/s) the cache currently *believes* the path to the
+        object's origin server has.  Depending on the simulator's
+        configuration this is the oracle base bandwidth or a passive
+        estimate; hybrid policies additionally scale it by ``estimator_e``.
+    frequency:
+        The object's request-frequency estimate ``F_i`` including the
+        current request.
+    """
+
+    now: float
+    bandwidth: float
+    frequency: float
+
+
+class CachePolicy(ABC):
+    """Base class for online replacement policies.
+
+    Subclasses set :attr:`allows_partial` and implement :meth:`utility` and
+    :meth:`target_cache_bytes`; everything else (frequency tracking, the
+    priority heap, eviction planning) is shared.
+    """
+
+    #: Human-readable policy name, used in reports and plots.
+    name: str = "base"
+
+    #: Whether the policy may cache and evict fractions of objects.
+    allows_partial: bool = False
+
+    def __init__(self, frequency_tracker: Optional[FrequencyTracker] = None):
+        self.frequencies = frequency_tracker or FrequencyTracker()
+        self._utilities: Dict[int, float] = {}
+        self._heap: List[Tuple[float, int, int]] = []
+        self._heap_counter = itertools.count()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    # ------------------------------------------------------------------
+    # The two hooks concrete policies implement.
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def utility(self, obj: MediaObject, ctx: PolicyContext) -> float:
+        """Priority key: higher utility content is kept in preference."""
+
+    @abstractmethod
+    def target_cache_bytes(self, obj: MediaObject, ctx: PolicyContext) -> float:
+        """How many KB of this object the policy would like cached."""
+
+    def on_evict(self, object_id: int, utility: float) -> None:
+        """Hook invoked whenever the engine evicts a whole object.
+
+        The default does nothing; GreedyDual-style policies override it to
+        update their inflation value (the utility of the last victim).
+        """
+
+    # ------------------------------------------------------------------
+    # Heap maintenance.
+    # ------------------------------------------------------------------
+    def _set_utility(self, object_id: int, utility: float) -> None:
+        self._utilities[object_id] = utility
+        heapq.heappush(self._heap, (utility, next(self._heap_counter), object_id))
+
+    def _drop_utility(self, object_id: int) -> None:
+        self._utilities.pop(object_id, None)
+
+    def _pop_lowest(
+        self, store: CacheStore, exclude: int
+    ) -> Optional[Tuple[int, float]]:
+        """Pop the valid lowest-utility cached object (excluding ``exclude``).
+
+        Lazily discards stale heap entries (objects no longer cached or whose
+        utility has since changed).  Returns ``None`` when no candidate
+        remains.  The returned object is *not* yet evicted; the caller either
+        commits the eviction or pushes the entry back via :meth:`_restore`.
+        """
+        held: List[Tuple[float, int]] = []
+        result: Optional[Tuple[int, float]] = None
+        while self._heap:
+            utility, _, object_id = heapq.heappop(self._heap)
+            current = self._utilities.get(object_id)
+            if current is None or object_id not in store:
+                continue
+            if abs(current - utility) > 1e-12:
+                continue
+            if object_id == exclude:
+                # Hold the requester's own entry aside; restored below so it
+                # is never considered a victim and never re-popped this call.
+                held.append((utility, object_id))
+                continue
+            result = (object_id, utility)
+            break
+        for utility, object_id in held:
+            self._restore(object_id, utility)
+        return result
+
+    def _restore(self, object_id: int, utility: float) -> None:
+        """Push a popped-but-not-evicted candidate back onto the heap."""
+        heapq.heappush(self._heap, (utility, next(self._heap_counter), object_id))
+
+    # ------------------------------------------------------------------
+    # The replacement engine.
+    # ------------------------------------------------------------------
+    def on_request(
+        self,
+        obj: MediaObject,
+        bandwidth: float,
+        now: float,
+        store: CacheStore,
+    ) -> PolicyContext:
+        """Handle one request: update state and adjust the cache contents.
+
+        Returns the :class:`PolicyContext` built for the request so callers
+        (and tests) can inspect the frequency and bandwidth the decision used.
+        """
+        frequency = self.frequencies.record(obj.object_id, now)
+        ctx = PolicyContext(now=now, bandwidth=float(bandwidth), frequency=frequency)
+        store.touch(obj.object_id, now)
+
+        target = min(self.target_cache_bytes(obj, ctx), obj.size)
+        utility = self.utility(obj, ctx)
+        object_id = obj.object_id
+        current = store.cached_bytes(object_id)
+
+        if current > 0:
+            # Refresh the requester's key: its frequency just increased.
+            self._set_utility(object_id, utility)
+
+        if target <= current + _EPSILON_KB:
+            return ctx
+
+        needed = target - current
+        if needed <= store.free_kb + _EPSILON_KB:
+            store.set_cached_bytes(object_id, target, now)
+            self._set_utility(object_id, utility)
+            return ctx
+
+        self._evict_and_admit(obj, ctx, store, target, utility)
+        return ctx
+
+    def _evict_and_admit(
+        self,
+        obj: MediaObject,
+        ctx: PolicyContext,
+        store: CacheStore,
+        target: float,
+        utility: float,
+    ) -> None:
+        """Plan evictions of lower-utility content, then admit the object.
+
+        Integral policies admit all-or-nothing; partial policies trim the
+        marginal victim and may admit the requested object partially when
+        only some of the needed space can be reclaimed.
+        """
+        object_id = obj.object_id
+        current = store.cached_bytes(object_id)
+        needed = target - current
+        shortfall = needed - store.free_kb
+
+        planned: List[Tuple[int, float, float]] = []  # (victim_id, utility, bytes)
+        planned_ids = set()
+        reclaimed = 0.0
+        blocked_candidate: Optional[Tuple[int, float]] = None
+
+        while shortfall - reclaimed > _EPSILON_KB:
+            candidate = self._pop_lowest(store, exclude=object_id)
+            if candidate is None:
+                break
+            victim_id, victim_utility = candidate
+            if victim_id in planned_ids:
+                # A duplicate heap entry for an already-planned victim; the
+                # copy kept in ``planned`` is authoritative, drop this one.
+                continue
+            if victim_utility >= utility:
+                blocked_candidate = candidate
+                break
+            victim_bytes = store.cached_bytes(victim_id)
+            if victim_bytes <= 0:
+                continue
+            planned.append((victim_id, victim_utility, victim_bytes))
+            planned_ids.add(victim_id)
+            reclaimed += victim_bytes
+
+        fully_satisfied = reclaimed + _EPSILON_KB >= shortfall
+
+        if not fully_satisfied and not self.allows_partial:
+            # Integral policies refuse partial admission: undo the plan.
+            for victim_id, victim_utility, _ in planned:
+                self._restore(victim_id, victim_utility)
+            if blocked_candidate is not None:
+                self._restore(*blocked_candidate)
+            return
+
+        if blocked_candidate is not None:
+            self._restore(*blocked_candidate)
+
+        # Commit evictions.  With full satisfaction a partial policy only
+        # trims the marginal (last) victim by what is actually required.
+        still_needed = shortfall
+        for index, (victim_id, victim_utility, victim_bytes) in enumerate(planned):
+            is_last = index == len(planned) - 1
+            if self.allows_partial and fully_satisfied and is_last:
+                trimmed = store.trim(victim_id, still_needed)
+                if store.cached_bytes(victim_id) <= _EPSILON_KB:
+                    store.evict(victim_id)
+                    self._drop_utility(victim_id)
+                    self.on_evict(victim_id, victim_utility)
+                else:
+                    self._restore(victim_id, victim_utility)
+                still_needed -= trimmed
+            else:
+                store.evict(victim_id)
+                self._drop_utility(victim_id)
+                self.on_evict(victim_id, victim_utility)
+                still_needed -= victim_bytes
+
+        grow_to = target if fully_satisfied else current + store.free_kb
+        if grow_to <= current + _EPSILON_KB:
+            return
+        if grow_to - current > store.free_kb + _EPSILON_KB:
+            raise PolicyError(
+                f"policy {self.name}: planned growth of object {object_id} exceeds "
+                f"free space ({grow_to - current:.1f} KB > {store.free_kb:.1f} KB)"
+            )
+        store.set_cached_bytes(object_id, min(grow_to, obj.size), ctx.now)
+        self._set_utility(object_id, utility)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers.
+    # ------------------------------------------------------------------
+    def cached_utility(self, object_id: int) -> Optional[float]:
+        """Current utility key of a cached object (None if not tracked)."""
+        return self._utilities.get(object_id)
+
+    def reset(self) -> None:
+        """Forget all frequency and heap state (the store is left alone)."""
+        self.frequencies.reset()
+        self._utilities.clear()
+        self._heap.clear()
+        self._heap_counter = itertools.count()

@@ -1,0 +1,74 @@
+"""Policy factory: build policies from short names.
+
+Experiments, benchmarks, and the command-line interface refer to policies by
+the short names the paper uses ("IF", "PB", "IB", ...).  The registry maps
+those names to constructors; hybrid policies accept their ``estimator_e``
+parameter through :func:`make_policy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.policies.base import CachePolicy
+from repro.core.policies.bandwidth import (
+    HybridPartialBandwidthPolicy,
+    IntegralBandwidthPolicy,
+    PartialBandwidthPolicy,
+)
+from repro.core.policies.classic import LFUPolicy, LRUPolicy
+from repro.core.policies.frequency import IntegralFrequencyPolicy
+from repro.core.policies.greedydual import (
+    GreedyDualSizePolicy,
+    PopularityAwareGreedyDualSizePolicy,
+)
+from repro.core.policies.value_based import (
+    HybridPartialBandwidthValuePolicy,
+    IntegralBandwidthValuePolicy,
+    PartialBandwidthValuePolicy,
+)
+from repro.exceptions import ConfigurationError
+
+#: Map of canonical policy name to zero-argument constructor.
+POLICY_REGISTRY: Dict[str, Callable[[], CachePolicy]] = {
+    "IF": IntegralFrequencyPolicy,
+    "PB": PartialBandwidthPolicy,
+    "IB": IntegralBandwidthPolicy,
+    "PB-V": PartialBandwidthValuePolicy,
+    "IB-V": IntegralBandwidthValuePolicy,
+    "LRU": LRUPolicy,
+    "LFU": LFUPolicy,
+    "GDS": GreedyDualSizePolicy,
+    "GDSP": PopularityAwareGreedyDualSizePolicy,
+}
+
+
+def make_policy(name: str, estimator_e: float = None) -> CachePolicy:
+    """Construct a policy from its short name.
+
+    Parameters
+    ----------
+    name:
+        One of the registry names (case-insensitive), or ``"PB"`` /
+        ``"PB-V"`` combined with ``estimator_e`` to obtain the hybrid
+        variants of Figures 9 and 12.
+    estimator_e:
+        Optional bandwidth under-estimation factor; only meaningful for the
+        partial bandwidth-based families.
+    """
+    key = name.strip().upper()
+    if estimator_e is not None:
+        if key == "PB":
+            return HybridPartialBandwidthPolicy(estimator_e=estimator_e)
+        if key == "PB-V":
+            return HybridPartialBandwidthValuePolicy(estimator_e=estimator_e)
+        raise ConfigurationError(
+            f"estimator_e is only supported for PB and PB-V, not {name!r}"
+        )
+    try:
+        constructor = POLICY_REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known policies: {sorted(POLICY_REGISTRY)}"
+        ) from None
+    return constructor()

@@ -1,0 +1,183 @@
+"""The proxy's cache store.
+
+The store tracks, for every object, how many kilobytes of its *prefix* are
+currently cached, and enforces the capacity constraint
+``sum_i x_i <= C`` from the paper's optimisation problem (Section 2.2).
+It is deliberately policy-agnostic: all decisions about *what* to cache live
+in :mod:`repro.core.policies`; the store only guarantees the accounting is
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.exceptions import CapacityError, ConfigurationError
+
+
+@dataclass
+class CachedObjectState:
+    """Book-keeping for one (partially) cached object."""
+
+    object_id: int
+    cached_bytes: float
+    last_access_time: float = 0.0
+    insertions: int = 0
+
+
+class CacheStore:
+    """Byte-accurate storage accounting for partial object prefixes.
+
+    Parameters
+    ----------
+    capacity_kb:
+        Total cache capacity ``C`` in KB.  A zero-capacity store is legal
+        (it models the no-cache baseline) — every admission attempt simply
+        fails.
+    """
+
+    def __init__(self, capacity_kb: float):
+        if capacity_kb < 0:
+            raise ConfigurationError(f"capacity must be non-negative, got {capacity_kb}")
+        self.capacity_kb = float(capacity_kb)
+        self._entries: Dict[int, CachedObjectState] = {}
+        self._used = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._entries
+
+    def __iter__(self) -> Iterator[CachedObjectState]:
+        return iter(self._entries.values())
+
+    @property
+    def used_kb(self) -> float:
+        """Total KB currently occupied."""
+        return self._used
+
+    @property
+    def free_kb(self) -> float:
+        """Remaining capacity in KB (never negative)."""
+        return max(self.capacity_kb - self._used, 0.0)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of capacity in use (0 for an empty or zero-capacity store)."""
+        if self.capacity_kb <= 0:
+            return 0.0
+        return self._used / self.capacity_kb
+
+    def cached_bytes(self, object_id: int) -> float:
+        """KB of the object's prefix currently cached (0 if absent)."""
+        entry = self._entries.get(object_id)
+        return entry.cached_bytes if entry is not None else 0.0
+
+    def state(self, object_id: int) -> CachedObjectState:
+        """Return the book-keeping entry, raising ``KeyError`` if absent."""
+        return self._entries[object_id]
+
+    def object_ids(self) -> List[int]:
+        """Ids of all objects with a cached prefix."""
+        return list(self._entries.keys())
+
+    def touch(self, object_id: int, now: float) -> None:
+        """Record an access time for recency-based policies; no-op if absent."""
+        entry = self._entries.get(object_id)
+        if entry is not None:
+            entry.last_access_time = now
+
+    def set_cached_bytes(self, object_id: int, target_bytes: float, now: float = 0.0) -> None:
+        """Set the cached prefix of an object to exactly ``target_bytes`` KB.
+
+        Growing beyond the available free space raises
+        :class:`~repro.exceptions.CapacityError`; shrinking to zero removes
+        the entry entirely.
+        """
+        if target_bytes < 0:
+            raise ConfigurationError(
+                f"target_bytes must be non-negative, got {target_bytes}"
+            )
+        current = self.cached_bytes(object_id)
+        delta = target_bytes - current
+        # The tolerance is relative to the capacity: callers legitimately grow
+        # an object by exactly the remaining free space, and the float
+        # round-trip (current + free) - current can overshoot by a few ULPs.
+        tolerance = 1e-9 * max(self.capacity_kb, 1.0)
+        if delta > self.free_kb + tolerance:
+            raise CapacityError(
+                f"cannot grow object {object_id} by {delta:.1f} KB; "
+                f"only {self.free_kb:.1f} KB free"
+            )
+        if target_bytes <= 0:
+            self._entries.pop(object_id, None)
+        else:
+            entry = self._entries.get(object_id)
+            if entry is None:
+                entry = CachedObjectState(
+                    object_id=object_id,
+                    cached_bytes=0.0,
+                    last_access_time=now,
+                )
+                self._entries[object_id] = entry
+            entry.cached_bytes = target_bytes
+            entry.last_access_time = now
+            entry.insertions += 1 if delta > 0 else 0
+        self._used = max(self._used + delta, 0.0)
+
+    def grow(self, object_id: int, additional_bytes: float, now: float = 0.0) -> None:
+        """Grow an object's cached prefix by ``additional_bytes`` KB."""
+        if additional_bytes < 0:
+            raise ConfigurationError(
+                f"additional_bytes must be non-negative, got {additional_bytes}"
+            )
+        self.set_cached_bytes(object_id, self.cached_bytes(object_id) + additional_bytes, now)
+
+    def trim(self, object_id: int, bytes_to_remove: float) -> float:
+        """Remove up to ``bytes_to_remove`` KB from an object's cached prefix.
+
+        Returns the number of KB actually reclaimed (0 if the object is not
+        cached).  Trimming everything removes the entry.
+        """
+        if bytes_to_remove < 0:
+            raise ConfigurationError(
+                f"bytes_to_remove must be non-negative, got {bytes_to_remove}"
+            )
+        current = self.cached_bytes(object_id)
+        if current <= 0:
+            return 0.0
+        reclaimed = min(current, bytes_to_remove)
+        self.set_cached_bytes(object_id, current - reclaimed)
+        return reclaimed
+
+    def evict(self, object_id: int) -> float:
+        """Remove an object entirely; returns the KB reclaimed."""
+        return self.trim(object_id, float("inf"))
+
+    def clear(self) -> None:
+        """Empty the cache."""
+        self._entries.clear()
+        self._used = 0.0
+
+    def snapshot(self) -> Dict[int, float]:
+        """Map of object id to cached KB (a copy, safe to mutate)."""
+        return {oid: entry.cached_bytes for oid, entry in self._entries.items()}
+
+    def verify_consistency(self) -> bool:
+        """Check that the used-bytes counter matches the sum of entries.
+
+        Used by tests and by the simulator's optional integrity checks.
+        """
+        total = sum(entry.cached_bytes for entry in self._entries.values())
+        return abs(total - self._used) < 1e-6 and self._used <= self.capacity_kb + 1e-6
+
+    def largest_entries(self, count: int = 10) -> List[Tuple[int, float]]:
+        """The ``count`` largest cached prefixes, for diagnostics."""
+        ranked = sorted(
+            ((oid, entry.cached_bytes) for oid, entry in self._entries.items()),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[:count]

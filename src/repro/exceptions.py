@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries while the library keeps the
+distinct failure modes separate internally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object (workload, simulation, policy) is invalid."""
+
+
+class CapacityError(ReproError):
+    """An operation would violate the cache's capacity constraint."""
+
+
+class UnknownObjectError(ReproError, KeyError):
+    """A media object id was referenced that is not in the catalog."""
+
+
+class TraceFormatError(ReproError):
+    """A request trace file could not be parsed."""
+
+
+class MeasurementError(ReproError):
+    """A bandwidth measurement could not be carried out or is unusable."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class PolicyError(ReproError):
+    """A cache policy was asked to do something inconsistent with its state."""

@@ -1,0 +1,197 @@
+"""Bandwidth measurement: active probing and passive observation.
+
+Section 2.7 of the paper discusses how a cache can learn the bandwidth of
+the path to an origin server:
+
+* **Active measurement** — send probe packets, observe loss rate and
+  round-trip time, and predict the throughput a TCP-friendly transport
+  would obtain.  The standard prediction is the PFTK model of Padhye et al.
+  [SIGCOMM 1998], in which throughput is inversely proportional to the RTT
+  and to the square root of the loss rate.
+* **Passive measurement** — observe the throughput of past transfers to the
+  same server and smooth them (we use an exponentially weighted moving
+  average).  No extra traffic, but the estimate lags when conditions change.
+
+Both are implemented here; the simulator can attach a
+:class:`PassiveEstimator` per path so that policies operate on estimated
+rather than oracle bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, MeasurementError
+
+
+@dataclass(frozen=True)
+class PathConditions:
+    """End-to-end conditions of a path, as observed by active probing.
+
+    Attributes
+    ----------
+    rtt:
+        Round-trip time in seconds.
+    loss_rate:
+        Packet loss probability in ``[0, 1)``.
+    mss:
+        Maximum segment size in KB (default 1.46 KB, a 1460-byte segment).
+    rto:
+        Retransmission timeout in seconds (PFTK uses ``max(1.0, 4 * rtt)``
+        by convention when not measured; we default to ``4 * rtt``).
+    """
+
+    rtt: float
+    loss_rate: float
+    mss: float = 1.46
+    rto: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0:
+            raise ConfigurationError(f"rtt must be positive, got {self.rtt}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.mss <= 0:
+            raise ConfigurationError(f"mss must be positive, got {self.mss}")
+
+
+def pftk_throughput(conditions: PathConditions) -> float:
+    """Predict TCP throughput (KB/s) with the PFTK model [Padhye et al. 98].
+
+    The full model is::
+
+        B = MSS / (RTT * sqrt(2bp/3) + RTO * min(1, 3*sqrt(3bp/8)) * p * (1 + 32 p^2))
+
+    with ``b = 2`` delayed-ACK packets per ACK and ``p`` the loss rate.
+    With zero loss the model diverges, so the function returns the
+    window-limited throughput of 64 KB per RTT instead, which is the
+    sensible cap for an un-congested path.
+    """
+    p = conditions.loss_rate
+    rtt = conditions.rtt
+    if p <= 0.0:
+        return 64.0 / rtt
+    rto = conditions.rto if conditions.rto is not None else max(4.0 * rtt, 1.0)
+    b = 2.0
+    congestion_term = rtt * math.sqrt(2.0 * b * p / 3.0)
+    timeout_term = rto * min(1.0, 3.0 * math.sqrt(3.0 * b * p / 8.0)) * p * (1.0 + 32.0 * p**2)
+    throughput = conditions.mss / (congestion_term + timeout_term)
+    # The window-limited cap still applies under loss.
+    return min(throughput, 64.0 / rtt)
+
+
+def simplified_tcp_throughput(conditions: PathConditions) -> float:
+    """The simpler square-root model ``MSS / (RTT * sqrt(2p/3))`` (KB/s).
+
+    This is the "inversely proportional to the square root of packet loss
+    rate and round-trip time" formulation the paper cites.  Falls back to
+    the window-limited value when loss is zero.
+    """
+    p = conditions.loss_rate
+    if p <= 0.0:
+        return 64.0 / conditions.rtt
+    return min(
+        conditions.mss / (conditions.rtt * math.sqrt(2.0 * p / 3.0)),
+        64.0 / conditions.rtt,
+    )
+
+
+class ActiveProber:
+    """Estimate path bandwidth by probing loss rate and RTT.
+
+    The prober is given the *true* path conditions and adds measurement
+    noise, mimicking the sampling error of a small probe train.  This keeps
+    the substrate honest about the overhead/accuracy trade-off the paper
+    mentions without simulating individual probe packets.
+    """
+
+    def __init__(self, probe_count: int = 20, noise_fraction: float = 0.1):
+        if probe_count <= 0:
+            raise ConfigurationError(f"probe_count must be positive, got {probe_count}")
+        if noise_fraction < 0:
+            raise ConfigurationError(
+                f"noise_fraction must be non-negative, got {noise_fraction}"
+            )
+        self.probe_count = int(probe_count)
+        self.noise_fraction = float(noise_fraction)
+
+    def probe(
+        self, conditions: PathConditions, rng: np.random.Generator
+    ) -> float:
+        """Return an estimated bandwidth (KB/s) for the given conditions."""
+        # Loss estimate: binomial sampling error over probe_count probes.  A
+        # probe train that loses every packet still yields a usable (if very
+        # pessimistic) estimate rather than an out-of-range loss rate of 1.
+        observed_losses = rng.binomial(self.probe_count, conditions.loss_rate)
+        estimated_loss = min(observed_losses / self.probe_count, 0.99)
+        # RTT estimate: multiplicative noise shrinking with probe count.
+        rtt_noise = 1.0 + rng.normal(0.0, self.noise_fraction / math.sqrt(self.probe_count))
+        estimated_rtt = max(conditions.rtt * rtt_noise, 1e-3)
+        estimate = pftk_throughput(
+            PathConditions(rtt=estimated_rtt, loss_rate=estimated_loss, mss=conditions.mss)
+        )
+        return max(estimate, 1.0)
+
+    def probe_overhead_kb(self) -> float:
+        """Approximate probe traffic in KB (probe_count small packets)."""
+        return self.probe_count * 0.064  # 64-byte probes
+
+
+class PassiveEstimator:
+    """EWMA estimator of path bandwidth from observed transfer throughput.
+
+    Each completed transfer to a server contributes one throughput sample;
+    the estimator keeps an exponentially weighted moving average per server.
+    Policies then use :meth:`estimate` instead of the oracle base bandwidth.
+    """
+
+    def __init__(self, smoothing: float = 0.25, initial_estimate: float = 100.0):
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(f"smoothing must be in (0, 1], got {smoothing}")
+        if initial_estimate <= 0:
+            raise ConfigurationError(
+                f"initial_estimate must be positive, got {initial_estimate}"
+            )
+        self.smoothing = float(smoothing)
+        self.initial_estimate = float(initial_estimate)
+        self._estimates: Dict[int, float] = {}
+        self._sample_counts: Dict[int, int] = {}
+
+    def observe(self, server_id: int, throughput: float) -> float:
+        """Record a throughput sample (KB/s) and return the new estimate."""
+        if throughput <= 0:
+            raise MeasurementError(
+                f"throughput must be positive, got {throughput} for server {server_id}"
+            )
+        if server_id not in self._estimates:
+            self._estimates[server_id] = throughput
+        else:
+            previous = self._estimates[server_id]
+            self._estimates[server_id] = (
+                (1.0 - self.smoothing) * previous + self.smoothing * throughput
+            )
+        self._sample_counts[server_id] = self._sample_counts.get(server_id, 0) + 1
+        return self._estimates[server_id]
+
+    def estimate(self, server_id: int) -> float:
+        """Current bandwidth estimate for a server (KB/s)."""
+        return self._estimates.get(server_id, self.initial_estimate)
+
+    def sample_count(self, server_id: int) -> int:
+        """How many samples have been observed for a server."""
+        return self._sample_counts.get(server_id, 0)
+
+    def known_servers(self) -> List[int]:
+        """Servers for which at least one sample has been observed."""
+        return sorted(self._estimates.keys())
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self._estimates.clear()
+        self._sample_counts.clear()

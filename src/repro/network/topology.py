@@ -1,0 +1,154 @@
+"""Delivery topology: origin servers, proxy cache, client cloud (Figure 1).
+
+The paper's architecture has three tiers: origin servers somewhere on the
+Internet, a caching proxy at the edge, and a homogeneous cloud of clients
+behind the proxy with abundant last-mile bandwidth.  The topology object
+wires a :class:`~repro.workload.catalog.Catalog` to a
+:class:`~repro.network.path.PathRegistry` so that, given an object, the
+simulator can look up the bandwidth of the path to that object's origin
+server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.network.distributions import BandwidthDistribution, NLANRBandwidthDistribution
+from repro.network.path import NetworkPath, PathRegistry
+from repro.network.variability import BandwidthVariabilityModel, ConstantVariability
+from repro.workload.catalog import Catalog, MediaObject
+
+
+@dataclass(frozen=True)
+class OriginServer:
+    """An origin server hosting a subset of the catalog."""
+
+    server_id: int
+    object_ids: tuple
+
+    @property
+    def object_count(self) -> int:
+        """Number of objects hosted on this server."""
+        return len(self.object_ids)
+
+
+@dataclass(frozen=True)
+class ClientCloud:
+    """The homogeneous client population behind the proxy.
+
+    The paper assumes abundant bandwidth between clients and the proxy
+    ("we assume abundant bandwidth at the last mile of the client side"),
+    so the only attribute that matters to the model is how to interpret the
+    cache-to-client hop: effectively infinite.  The class exists so the
+    assumption is explicit and so extensions (heterogeneous last miles) have
+    a place to live.
+    """
+
+    num_clients: int = 1
+    last_mile_bandwidth: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ConfigurationError(f"num_clients must be positive, got {self.num_clients}")
+        if self.last_mile_bandwidth <= 0:
+            raise ConfigurationError(
+                f"last_mile_bandwidth must be positive, got {self.last_mile_bandwidth}"
+            )
+
+
+@dataclass(frozen=True)
+class ProxyNode:
+    """The edge proxy cache: its capacity is the knapsack constraint ``C``."""
+
+    capacity_kb: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_kb < 0:
+            raise ConfigurationError(
+                f"capacity must be non-negative, got {self.capacity_kb}"
+            )
+
+
+@dataclass
+class DeliveryTopology:
+    """The full server / proxy / client wiring for one simulation."""
+
+    catalog: Catalog
+    paths: PathRegistry
+    proxy: ProxyNode
+    clients: ClientCloud = field(default_factory=ClientCloud)
+
+    def __post_init__(self) -> None:
+        missing = [
+            server_id
+            for server_id in self.catalog.server_ids()
+            if server_id not in self.paths
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"catalog references servers with no registered path: {missing[:5]}"
+                + ("..." if len(missing) > 5 else "")
+            )
+
+    def path_for(self, obj: MediaObject) -> NetworkPath:
+        """Return the cache-to-server path serving the given object."""
+        return self.paths.get(obj.server_id)
+
+    def path_for_object_id(self, object_id: int) -> NetworkPath:
+        """Return the path serving the object with the given id."""
+        return self.paths.get(self.catalog.get(object_id).server_id)
+
+    def servers(self) -> List[OriginServer]:
+        """Group catalog objects by hosting server."""
+        by_server: Dict[int, List[int]] = {}
+        for obj in self.catalog:
+            by_server.setdefault(obj.server_id, []).append(obj.object_id)
+        return [
+            OriginServer(server_id=server_id, object_ids=tuple(ids))
+            for server_id, ids in sorted(by_server.items())
+        ]
+
+    def bottleneck_objects(self) -> List[int]:
+        """Objects whose bit-rate exceeds their path's base bandwidth.
+
+        These are the objects the network-aware policies consider caching at
+        all; everything else streams fine straight from its origin server.
+        """
+        return [
+            obj.object_id
+            for obj in self.catalog
+            if obj.bitrate > self.path_for(obj).base_bandwidth
+        ]
+
+    @classmethod
+    def build(
+        cls,
+        catalog: Catalog,
+        cache_capacity_kb: float,
+        bandwidth_distribution: Optional[BandwidthDistribution] = None,
+        variability: Optional[BandwidthVariabilityModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> "DeliveryTopology":
+        """Construct a topology by sampling per-server base bandwidths.
+
+        This is the standard construction of the paper's simulations: one
+        path per origin server, base bandwidth drawn from the NLANR-derived
+        distribution, and a shared variability model (constant, NLANR-like,
+        or measured-path-like depending on the experiment).
+        """
+        rng = rng or np.random.default_rng(seed)
+        distribution = bandwidth_distribution or NLANRBandwidthDistribution()
+        variability = variability or ConstantVariability()
+        paths = PathRegistry.from_distribution(
+            catalog.server_ids(), distribution, rng, variability
+        )
+        return cls(
+            catalog=catalog,
+            paths=paths,
+            proxy=ProxyNode(capacity_kb=cache_capacity_kb),
+        )

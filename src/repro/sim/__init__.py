@@ -1,0 +1,35 @@
+"""Trace-driven simulation of the caching-accelerator architecture.
+
+* :mod:`repro.sim.engine` — a small discrete-event simulation engine,
+* :mod:`repro.sim.config` — simulation configuration,
+* :mod:`repro.sim.metrics` — the paper's performance metrics (Section 3.3),
+* :mod:`repro.sim.simulator` — the proxy-cache simulator proper,
+* :mod:`repro.sim.runner` — multi-run averaging and parameter sweeps.
+"""
+
+from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.engine import Event, EventQueue, SimulationEngine
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.runner import PolicyComparison, SweepResult, compare_policies, run_replications, sweep_cache_sizes
+from repro.sim.sharing import SharingReport, StreamSharingAnalyzer, prefix_function_for_bandwidth
+from repro.sim.simulator import ProxyCacheSimulator, SimulationResult
+
+__all__ = [
+    "BandwidthKnowledge",
+    "Event",
+    "EventQueue",
+    "MetricsCollector",
+    "PolicyComparison",
+    "ProxyCacheSimulator",
+    "SharingReport",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationMetrics",
+    "SimulationResult",
+    "StreamSharingAnalyzer",
+    "SweepResult",
+    "compare_policies",
+    "prefix_function_for_bandwidth",
+    "run_replications",
+    "sweep_cache_sizes",
+]

@@ -1,0 +1,121 @@
+"""Simulation configuration.
+
+A :class:`SimulationConfig` bundles everything about *how* a trace is
+replayed that is independent of the workload itself: the cache capacity, the
+bandwidth model and its variability, how the cache learns bandwidth
+(oracle measurements versus passive estimation), and the warm-up protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.network.distributions import BandwidthDistribution, NLANRBandwidthDistribution
+from repro.network.variability import BandwidthVariabilityModel, ConstantVariability
+from repro.units import gb_to_kb
+
+
+class BandwidthKnowledge(enum.Enum):
+    """How the cache learns the bandwidth of each cache-to-server path."""
+
+    #: The cache knows each path's long-term average bandwidth exactly
+    #: (the paper's default assumption: the cache "measures" bandwidth).
+    ORACLE = "oracle"
+    #: The cache estimates bandwidth passively from the throughput of
+    #: completed transfers (Section 2.7's passive measurement).
+    PASSIVE = "passive"
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one trace-driven simulation run.
+
+    Attributes
+    ----------
+    cache_size_gb:
+        Proxy cache capacity in GB (the paper varies this from 4 to 128 GB,
+        i.e. about 0.5% to 16.9% of the 790 GB unique object size).
+    bandwidth_distribution:
+        Distribution of per-path base bandwidth; defaults to the NLANR model
+        of Figure 2.
+    variability:
+        Per-request bandwidth variability model; defaults to constant
+        bandwidth (the Figure 5 setting).
+    bandwidth_knowledge:
+        Whether policies see oracle base bandwidths or passive estimates.
+    warmup_fraction:
+        Fraction of the trace used to warm the cache before metrics are
+        collected (the paper uses the first half).
+    min_path_bandwidth:
+        Floor (KB/s) applied to sampled base bandwidths so that a handful of
+        near-zero draws cannot dominate the delay average; the paper's
+        bandwidth samples come from completed transfers and therefore have
+        an implicit floor as well.
+    passive_smoothing:
+        EWMA weight of the passive estimator (only used with
+        ``BandwidthKnowledge.PASSIVE``).
+    seed:
+        Seed for the simulation's random number generator (path bandwidth
+        assignment and per-request variability draws).
+    verify_store:
+        When True the simulator asserts cache-store consistency after every
+        request; slows the run, intended for tests.
+    """
+
+    cache_size_gb: float = 16.0
+    bandwidth_distribution: BandwidthDistribution = field(
+        default_factory=NLANRBandwidthDistribution
+    )
+    variability: BandwidthVariabilityModel = field(default_factory=ConstantVariability)
+    bandwidth_knowledge: BandwidthKnowledge = BandwidthKnowledge.ORACLE
+    warmup_fraction: float = 0.5
+    min_path_bandwidth: float = 4.0
+    passive_smoothing: float = 0.25
+    seed: int = 0
+    verify_store: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cache_size_gb < 0:
+            raise ConfigurationError(
+                f"cache_size_gb must be non-negative, got {self.cache_size_gb}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+        if self.min_path_bandwidth < 0:
+            raise ConfigurationError(
+                f"min_path_bandwidth must be non-negative, got {self.min_path_bandwidth}"
+            )
+        if not 0.0 < self.passive_smoothing <= 1.0:
+            raise ConfigurationError(
+                f"passive_smoothing must be in (0, 1], got {self.passive_smoothing}"
+            )
+
+    @property
+    def cache_size_kb(self) -> float:
+        """Cache capacity in KB."""
+        return gb_to_kb(self.cache_size_gb)
+
+    def with_cache_size(self, cache_size_gb: float) -> "SimulationConfig":
+        """Copy of this config with a different cache capacity."""
+        return replace(self, cache_size_gb=cache_size_gb)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """Copy of this config with a different random seed."""
+        return replace(self, seed=seed)
+
+    def with_variability(
+        self, variability: Optional[BandwidthVariabilityModel]
+    ) -> "SimulationConfig":
+        """Copy of this config with a different variability model."""
+        return replace(self, variability=variability or ConstantVariability())
+
+    def cache_fraction_of(self, total_unique_kb: float) -> float:
+        """Cache size as a fraction of the total unique object size."""
+        if total_unique_kb <= 0:
+            return 0.0
+        return self.cache_size_kb / total_unique_kb

@@ -1,0 +1,175 @@
+"""A small discrete-event simulation engine.
+
+The paper's evaluation is a trace-driven simulation: request events arrive
+at known times and are processed in order.  The engine below is a classic
+event-calendar design — a priority queue of timestamped events, a clock that
+only moves forward, and handlers that may schedule further events — which
+keeps the trace-driven simulator honest about time ordering and gives
+extensions (periodic bandwidth re-measurement, delayed prefetch completion,
+cache-consistency timers) a natural place to hook in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Events order by ``(time, priority, sequence)``: ties in time are broken
+    by explicit priority (lower runs first) and then by scheduling order, so
+    simulations are fully deterministic.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    handler: Callable[["SimulationEngine", Any], None] = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        handler: Callable[["SimulationEngine", Any], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule an event and return it (so it can be cancelled)."""
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            handler=handler,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class SimulationEngine:
+    """Run events in time order, advancing a monotonically increasing clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.queue = EventQueue()
+        self.now = float(start_time)
+        self.events_processed = 0
+        self._running = False
+
+    def schedule(
+        self,
+        time: float,
+        handler: Callable[["SimulationEngine", Any], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``handler(engine, payload)`` to run at simulation ``time``.
+
+        Scheduling in the past raises :class:`~repro.exceptions.SimulationError`
+        — the clock never moves backwards.
+        """
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        return self.queue.push(max(time, self.now), handler, payload, priority)
+
+    def schedule_after(
+        self,
+        delay: float,
+        handler: Callable[["SimulationEngine", Any], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule an event ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, handler, payload, priority)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains (or a limit is reached).
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event's time exceeds this value (the clock is
+            left at ``until``).
+        max_events:
+            Stop after processing this many events (a safety valve for
+            handler bugs that re-schedule themselves forever).
+
+        Returns
+        -------
+        int
+            The number of events processed by this call.
+        """
+        processed = 0
+        self._running = True
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self.queue.pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.handler(self, event.payload)
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        return processed
+
+    def stop(self) -> None:
+        """Request the run loop to stop by draining the queue.
+
+        Handlers call this to terminate a simulation early; all outstanding
+        events are cancelled.
+        """
+        while True:
+            event = self.queue.pop()
+            if event is None:
+                break
+            event.cancel()

@@ -1,0 +1,199 @@
+"""Stream encodings: CBR, VBR, and layered.
+
+The paper assumes constant bit-rate (CBR) objects, with variable bit-rate
+(VBR) objects reduced to the CBR case by optimal smoothing (Section 2.2).
+Stream quality is defined over a layered encoding: if only three of four
+layers can be sustained, quality is 0.75 (Section 3.3).
+
+These classes provide the frame-level schedules that the smoothing module
+and the delivery-session model operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CBRStream:
+    """A constant bit-rate stream.
+
+    Attributes
+    ----------
+    duration:
+        Playback duration in seconds.
+    rate:
+        Encoding rate in KB/s.
+    """
+
+    duration: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate}")
+
+    @property
+    def size(self) -> float:
+        """Total stream size in KB."""
+        return self.duration * self.rate
+
+    def cumulative_consumption(self, times: Sequence[float]) -> np.ndarray:
+        """KB consumed by the player by each time in ``times`` (seconds)."""
+        t = np.asarray(times, dtype=float)
+        return np.clip(t, 0.0, self.duration) * self.rate
+
+    def prefix_bytes(self, seconds: float) -> float:
+        """Size in KB of the first ``seconds`` of the stream."""
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be non-negative, got {seconds}")
+        return min(seconds, self.duration) * self.rate
+
+
+class VBRStream:
+    """A variable bit-rate stream described by its per-frame sizes.
+
+    Parameters
+    ----------
+    frame_sizes:
+        Size in KB of each frame, in playback order.
+    frame_rate:
+        Frames per second (default 24, matching the paper's workload).
+    """
+
+    def __init__(self, frame_sizes: Sequence[float], frame_rate: float = 24.0):
+        sizes = np.asarray(list(frame_sizes), dtype=float)
+        if sizes.size == 0:
+            raise ConfigurationError("frame_sizes must be non-empty")
+        if np.any(sizes < 0):
+            raise ConfigurationError("frame sizes must be non-negative")
+        if frame_rate <= 0:
+            raise ConfigurationError(f"frame_rate must be positive, got {frame_rate}")
+        self.frame_sizes = sizes
+        self.frame_rate = float(frame_rate)
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the stream."""
+        return int(self.frame_sizes.size)
+
+    @property
+    def duration(self) -> float:
+        """Playback duration in seconds."""
+        return self.num_frames / self.frame_rate
+
+    @property
+    def size(self) -> float:
+        """Total stream size in KB."""
+        return float(self.frame_sizes.sum())
+
+    @property
+    def mean_rate(self) -> float:
+        """Average rate in KB/s."""
+        return self.size / self.duration
+
+    @property
+    def peak_rate(self) -> float:
+        """Peak per-frame rate expressed in KB/s."""
+        return float(self.frame_sizes.max()) * self.frame_rate
+
+    def cumulative_schedule(self) -> np.ndarray:
+        """Cumulative KB that must be delivered by the end of each frame.
+
+        Index ``k`` gives the data required to decode frames ``0..k``; this
+        is the lower bound every feasible transmission schedule must stay
+        above (the ``D(t)`` curve in the smoothing literature).
+        """
+        return np.cumsum(self.frame_sizes)
+
+    def to_cbr(self) -> CBRStream:
+        """Collapse to a CBR stream at the average rate (ignores burstiness)."""
+        return CBRStream(duration=self.duration, rate=self.mean_rate)
+
+
+@dataclass(frozen=True)
+class LayeredEncoding:
+    """A layered (scalable) encoding of a stream.
+
+    The paper's quality metric assumes layers of equal rate: playing ``k``
+    of ``layers`` layers yields quality ``k / layers`` and requires rate
+    ``k / layers * full_rate``.
+    """
+
+    full_rate: float
+    layers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.full_rate <= 0:
+            raise ConfigurationError(f"full_rate must be positive, got {self.full_rate}")
+        if self.layers < 1:
+            raise ConfigurationError(f"layers must be >= 1, got {self.layers}")
+
+    @property
+    def layer_rate(self) -> float:
+        """Rate of a single layer in KB/s."""
+        return self.full_rate / self.layers
+
+    def supported_layers(self, available_rate: float) -> int:
+        """Largest number of layers sustainable at ``available_rate`` KB/s."""
+        if available_rate <= 0:
+            return 0
+        return min(self.layers, int(available_rate / self.layer_rate + 1e-9))
+
+    def quality(self, available_rate: float) -> float:
+        """Quality (fraction of layers playable) at ``available_rate`` KB/s."""
+        return self.supported_layers(available_rate) / self.layers
+
+    def rate_for_quality(self, quality: float) -> float:
+        """Minimum rate (KB/s) needed to reach at least ``quality``."""
+        if not 0.0 <= quality <= 1.0:
+            raise ConfigurationError(f"quality must be in [0, 1], got {quality}")
+        needed_layers = int(np.ceil(quality * self.layers - 1e-9))
+        return needed_layers * self.layer_rate
+
+
+def synthetic_vbr_stream(
+    duration: float,
+    mean_rate: float,
+    burstiness: float = 0.5,
+    frame_rate: float = 24.0,
+    seed: int = 0,
+) -> VBRStream:
+    """Generate a synthetic VBR stream with a target mean rate.
+
+    Frame sizes follow a gamma distribution around the mean frame size with
+    a scene-level modulation (slowly varying sinusoidal component) so the
+    stream exhibits both short-term and long-term rate variability, which is
+    what makes smoothing interesting.  ``burstiness`` in ``[0, 1)`` controls
+    the coefficient of variation of frame sizes.
+    """
+    if duration <= 0 or mean_rate <= 0:
+        raise ConfigurationError("duration and mean_rate must be positive")
+    if not 0.0 <= burstiness < 1.0:
+        raise ConfigurationError(f"burstiness must be in [0, 1), got {burstiness}")
+    rng = np.random.default_rng(seed)
+    num_frames = max(int(duration * frame_rate), 1)
+    mean_frame = mean_rate / frame_rate
+    # Scene modulation: +-40% swings over ~30-second scenes.
+    scene_period_frames = 30.0 * frame_rate
+    phase = rng.uniform(0, 2 * np.pi)
+    modulation = 1.0 + 0.4 * np.sin(
+        2 * np.pi * np.arange(num_frames) / scene_period_frames + phase
+    )
+    if burstiness > 0:
+        cov = burstiness
+        shape = 1.0 / cov**2
+        noise = rng.gamma(shape, 1.0 / shape, size=num_frames)
+    else:
+        noise = np.ones(num_frames)
+    sizes = mean_frame * modulation * noise
+    # Re-normalise so the realised mean rate matches the request.
+    sizes *= (mean_frame * num_frames) / sizes.sum()
+    return VBRStream(sizes, frame_rate=frame_rate)

@@ -1,0 +1,164 @@
+"""Fine-grain segment maintenance for partially cached objects.
+
+Section 2.7 notes that a deployed proxy has to maintain partial objects as
+either *prefixes* or *fine-grain segments*.  The rest of the library models
+the cached portion of an object as a single prefix byte-count (which is all
+the paper's algorithms need); this module supplies the segment-level view a
+real proxy would keep on disk:
+
+* :class:`SegmentationScheme` turns a byte-count into a list of segments —
+  either fixed-size or exponentially growing segments (the layout used by
+  later segment-based caching systems, where segment ``k`` covers
+  ``[2^(k-1), 2^k)`` base units), and
+* :class:`SegmentedPrefix` tracks which segments of one object are resident,
+  supports growing/trimming to match a policy's byte target, and reports
+  the byte ranges a joint-delivery session must still fetch from the origin
+  server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous byte range of an object, ``[start, end)`` in KB."""
+
+    index: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"invalid segment [{self.start}, {self.end}) at index {self.index}"
+            )
+
+    @property
+    def size(self) -> float:
+        """Segment length in KB."""
+        return self.end - self.start
+
+
+class SegmentationScheme:
+    """Partition an object into segments.
+
+    Parameters
+    ----------
+    base_segment_kb:
+        Size of the first segment in KB.
+    exponential:
+        When True (the default) segment sizes double from one segment to the
+        next — the layout that keeps per-object metadata logarithmic in the
+        object size.  When False all segments have the base size.
+    """
+
+    def __init__(self, base_segment_kb: float = 256.0, exponential: bool = True):
+        if base_segment_kb <= 0:
+            raise ConfigurationError(
+                f"base_segment_kb must be positive, got {base_segment_kb}"
+            )
+        self.base_segment_kb = float(base_segment_kb)
+        self.exponential = bool(exponential)
+
+    def segments(self, object_size_kb: float) -> List[Segment]:
+        """The full segment list covering ``[0, object_size_kb)``."""
+        if object_size_kb < 0:
+            raise ConfigurationError(
+                f"object_size_kb must be non-negative, got {object_size_kb}"
+            )
+        segments: List[Segment] = []
+        start = 0.0
+        size = self.base_segment_kb
+        index = 0
+        while start < object_size_kb:
+            end = min(start + size, object_size_kb)
+            segments.append(Segment(index=index, start=start, end=end))
+            start = end
+            index += 1
+            if self.exponential:
+                size *= 2.0
+        return segments
+
+    def segments_for_prefix(self, object_size_kb: float, prefix_kb: float) -> List[Segment]:
+        """The segments fully or partially covered by a prefix of ``prefix_kb``."""
+        prefix_kb = min(max(prefix_kb, 0.0), object_size_kb)
+        return [seg for seg in self.segments(object_size_kb) if seg.start < prefix_kb]
+
+
+class SegmentedPrefix:
+    """Segment-level bookkeeping for one partially cached object.
+
+    The class keeps the invariant that cached segments always form a prefix
+    (segment ``k`` is only resident if all earlier segments are), which is
+    what makes joint delivery with the origin server straightforward.
+    """
+
+    def __init__(self, object_size_kb: float, scheme: SegmentationScheme = None):
+        if object_size_kb <= 0:
+            raise ConfigurationError(
+                f"object_size_kb must be positive, got {object_size_kb}"
+            )
+        self.object_size_kb = float(object_size_kb)
+        self.scheme = scheme or SegmentationScheme()
+        self._segments = self.scheme.segments(self.object_size_kb)
+        self._resident = 0  # number of fully resident leading segments
+
+    @property
+    def resident_segments(self) -> List[Segment]:
+        """The segments currently held by the cache."""
+        return self._segments[: self._resident]
+
+    @property
+    def cached_bytes(self) -> float:
+        """Total KB held (the sum of resident segment sizes)."""
+        return sum(segment.size for segment in self.resident_segments)
+
+    @property
+    def total_segments(self) -> int:
+        """Number of segments the whole object divides into."""
+        return len(self._segments)
+
+    def grow_to(self, target_kb: float) -> float:
+        """Admit whole segments until at least ``target_kb`` KB are resident.
+
+        Returns the actual number of KB resident afterwards (segment
+        granularity means it can exceed the target).
+        """
+        if target_kb < 0:
+            raise ConfigurationError(f"target_kb must be non-negative, got {target_kb}")
+        target_kb = min(target_kb, self.object_size_kb)
+        while self.cached_bytes < target_kb and self._resident < len(self._segments):
+            self._resident += 1
+        return self.cached_bytes
+
+    def trim_to(self, target_kb: float) -> float:
+        """Drop trailing segments until at most ``target_kb`` KB remain."""
+        if target_kb < 0:
+            raise ConfigurationError(f"target_kb must be non-negative, got {target_kb}")
+        while self._resident > 0 and self.cached_bytes > target_kb:
+            self._resident -= 1
+        return self.cached_bytes
+
+    def missing_ranges(self) -> List[Tuple[float, float]]:
+        """Byte ranges (KB offsets) that must be fetched from the origin server."""
+        cached = self.cached_bytes
+        if cached >= self.object_size_kb:
+            return []
+        return [(cached, self.object_size_kb)]
+
+    def holds_prefix(self, prefix_kb: float) -> bool:
+        """Whether the resident segments cover at least ``prefix_kb`` KB."""
+        return self.cached_bytes >= min(prefix_kb, self.object_size_kb) - 1e-9
+
+    def metadata_entries(self) -> int:
+        """How many segment records the proxy must track for this object.
+
+        With exponential segmentation this is O(log(size)), the practical
+        argument for that layout.
+        """
+        return len(self._segments)

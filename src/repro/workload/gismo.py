@@ -1,0 +1,206 @@
+"""GISMO-style synthetic workload generator.
+
+The paper generates its evaluation workloads with the GISMO toolset
+[Jin & Bestavros 2001].  :class:`GismoWorkloadGenerator` reproduces the
+combination of models Table 1 specifies:
+
+* 5,000 unique objects,
+* Zipf-like popularity (default ``alpha = 0.73``),
+* 100,000 requests arriving according to a Poisson process,
+* lognormal object durations (``mu = 3.85``, ``sigma = 0.56`` minutes),
+* constant 48 KB/s bit-rate,
+* total unique object size around 790 GB.
+
+The generator also assigns each object to an origin server and draws a
+per-object value ``V_i`` (uniform $1–$10) for the revenue experiments of
+Section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.units import DEFAULT_BITRATE_KBPS
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivalProcess
+from repro.workload.catalog import Catalog, MediaObject
+from repro.workload.popularity import PopularityModel, ZipfPopularity
+from repro.workload.sizes import (
+    BitrateModel,
+    ConstantBitrateModel,
+    DurationModel,
+    LognormalDurationModel,
+)
+from repro.workload.trace import RequestTrace
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of a synthetic workload (defaults follow Table 1).
+
+    Attributes
+    ----------
+    num_objects:
+        Number of unique streaming media objects (paper: 5,000).
+    num_requests:
+        Number of requests in the trace (paper: 100,000).
+    zipf_alpha:
+        Skew of the Zipf-like popularity distribution (paper default 0.73;
+        Figure 6 sweeps 0.5–1.2).
+    arrival_rate:
+        Poisson request arrival rate in requests/second.  The paper does not
+        publish the absolute rate; the default of one request per 3 seconds
+        spreads 100k requests over about 3.5 days, long relative to every
+        object duration, which is all the metrics depend on.
+    duration_mu, duration_sigma:
+        Lognormal parameters of object duration (minutes).
+    bitrate:
+        CBR encoding rate of every object in KB/s (paper: 48).
+    num_servers:
+        How many distinct origin servers host the catalog; each object is
+        assigned to one server uniformly at random and inherits that
+        server's path bandwidth.
+    value_min, value_max:
+        Range of the per-object value ``V_i`` in dollars (paper: $1–$10).
+    layers:
+        Number of encoding layers used by the stream-quality metric.
+    seed:
+        Seed for the workload's random number generator.
+    """
+
+    num_objects: int = 5_000
+    num_requests: int = 100_000
+    zipf_alpha: float = 0.73
+    arrival_rate: float = 1.0 / 3.0
+    duration_mu: float = 3.85
+    duration_sigma: float = 0.56
+    bitrate: float = DEFAULT_BITRATE_KBPS
+    num_servers: int = 500
+    value_min: float = 1.0
+    value_max: float = 10.0
+    layers: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_objects <= 0:
+            raise ConfigurationError("num_objects must be positive")
+        if self.num_requests <= 0:
+            raise ConfigurationError("num_requests must be positive")
+        if self.num_servers <= 0:
+            raise ConfigurationError("num_servers must be positive")
+        if self.value_min < 0 or self.value_max < self.value_min:
+            raise ConfigurationError(
+                f"invalid value range [{self.value_min}, {self.value_max}]"
+            )
+
+    def scaled(self, factor: float) -> "WorkloadConfig":
+        """Return a copy with object and request counts scaled by ``factor``.
+
+        Useful for quick smoke tests and CI runs that keep the workload's
+        shape but shrink its volume.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            num_objects=max(1, int(self.num_objects * factor)),
+            num_requests=max(1, int(self.num_requests * factor)),
+            num_servers=max(1, int(self.num_servers * factor)),
+        )
+
+
+@dataclass
+class Workload:
+    """A generated workload: catalog, request trace, and provenance."""
+
+    catalog: Catalog
+    trace: RequestTrace
+    config: WorkloadConfig
+    expected_rates: np.ndarray = field(repr=False, default=None)
+
+    def describe(self) -> dict:
+        """Summary statistics used by reports and the Table 1 benchmark."""
+        summary = dict(self.catalog.describe())
+        summary.update(
+            {
+                "requests": float(len(self.trace)),
+                "trace_duration_s": self.trace.duration,
+                "zipf_alpha": self.config.zipf_alpha,
+            }
+        )
+        return summary
+
+
+class GismoWorkloadGenerator:
+    """Generate catalogs and request traces in the style of GISMO.
+
+    The generator is deterministic given ``config.seed``; two generators
+    built from equal configs produce identical workloads, which is what lets
+    experiments compare policies on the *same* trace.
+    """
+
+    def __init__(
+        self,
+        config: Optional[WorkloadConfig] = None,
+        popularity: Optional[PopularityModel] = None,
+        durations: Optional[DurationModel] = None,
+        bitrates: Optional[BitrateModel] = None,
+        arrivals: Optional[ArrivalProcess] = None,
+    ):
+        self.config = config or WorkloadConfig()
+        self.popularity = popularity or ZipfPopularity(self.config.zipf_alpha)
+        self.durations = durations or LognormalDurationModel(
+            mu=self.config.duration_mu, sigma=self.config.duration_sigma
+        )
+        self.bitrates = bitrates or ConstantBitrateModel(self.config.bitrate)
+        self.arrivals = arrivals or PoissonArrivalProcess(self.config.arrival_rate)
+
+    def generate_catalog(self, rng: Optional[np.random.Generator] = None) -> Catalog:
+        """Generate only the object catalog."""
+        rng = rng or np.random.default_rng(self.config.seed)
+        cfg = self.config
+        durations = self.durations.sample(cfg.num_objects, rng)
+        bitrates = self.bitrates.sample(cfg.num_objects, rng)
+        servers = rng.integers(0, cfg.num_servers, size=cfg.num_objects)
+        values = rng.uniform(cfg.value_min, cfg.value_max, size=cfg.num_objects)
+        objects = [
+            MediaObject(
+                object_id=i,
+                duration=float(durations[i]),
+                bitrate=float(bitrates[i]),
+                server_id=int(servers[i]),
+                value=float(values[i]),
+                layers=cfg.layers,
+            )
+            for i in range(cfg.num_objects)
+        ]
+        return Catalog(objects)
+
+    def generate(self) -> Workload:
+        """Generate the full workload: catalog plus request trace."""
+        rng = np.random.default_rng(self.config.seed)
+        cfg = self.config
+        catalog = self.generate_catalog(rng)
+        times = self.arrivals.sample(cfg.num_requests, rng)
+        ranks = self.popularity.sample_ranks(cfg.num_objects, cfg.num_requests, rng)
+        trace = RequestTrace.from_arrays(times, ranks)
+        expected = self.popularity.probabilities(cfg.num_objects) * cfg.num_requests
+        return Workload(
+            catalog=catalog, trace=trace, config=cfg, expected_rates=expected
+        )
+
+
+def table1_workload(seed: int = 0, scale: float = 1.0) -> Workload:
+    """Convenience constructor for the paper's Table 1 workload.
+
+    ``scale`` shrinks (or grows) the object and request counts while keeping
+    every distributional parameter fixed, which preserves the relative
+    behaviour of the caching policies at a fraction of the runtime.
+    """
+    config = WorkloadConfig(seed=seed)
+    if scale != 1.0:
+        config = config.scaled(scale)
+    return GismoWorkloadGenerator(config).generate()

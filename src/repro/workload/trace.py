@@ -1,0 +1,179 @@
+"""Request-trace data structures and serialisation.
+
+A :class:`Request` is one client request for one streaming media object at a
+point in time.  A :class:`RequestTrace` is an ordered sequence of requests
+plus helpers for splitting into warm-up and measurement halves (the protocol
+the paper uses in Section 4.1), slicing, and round-tripping through CSV so
+traces can be archived alongside experiment results.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError, TraceFormatError
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single request in a workload trace.
+
+    Attributes
+    ----------
+    time:
+        Arrival time in seconds from the start of the trace.
+    object_id:
+        Id of the requested media object (must exist in the catalog).
+    client_id:
+        Identifier of the requesting client; the paper assumes a homogeneous
+        client cloud behind the proxy, so most experiments use a single id.
+    """
+
+    time: float
+    object_id: int
+    client_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"request time must be non-negative, got {self.time}")
+
+
+class RequestTrace:
+    """An ordered sequence of :class:`Request` objects."""
+
+    _FIELDS = ("time", "object_id", "client_id")
+
+    def __init__(self, requests: Iterable[Request]):
+        self._requests: List[Request] = list(requests)
+        for earlier, later in zip(self._requests, self._requests[1:]):
+            if later.time < earlier.time:
+                raise ConfigurationError(
+                    "requests must be ordered by non-decreasing time "
+                    f"({later.time} follows {earlier.time})"
+                )
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Request, "RequestTrace"]:
+        if isinstance(index, slice):
+            return RequestTrace(self._requests[index])
+        return self._requests[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestTrace):
+            return NotImplemented
+        return self._requests == other._requests
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace in seconds."""
+        if not self._requests:
+            return 0.0
+        return self._requests[-1].time - self._requests[0].time
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first request (0.0 for an empty trace)."""
+        return self._requests[0].time if self._requests else 0.0
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last request (0.0 for an empty trace)."""
+        return self._requests[-1].time if self._requests else 0.0
+
+    def object_ids(self) -> List[int]:
+        """Distinct object ids referenced by the trace, in first-seen order."""
+        seen: List[int] = []
+        seen_set = set()
+        for request in self._requests:
+            if request.object_id not in seen_set:
+                seen.append(request.object_id)
+                seen_set.add(request.object_id)
+        return seen
+
+    def request_counts(self) -> dict:
+        """Map of object id to number of requests in the trace."""
+        counts: dict = {}
+        for request in self._requests:
+            counts[request.object_id] = counts.get(request.object_id, 0) + 1
+        return counts
+
+    def split(self, fraction: float = 0.5) -> Tuple["RequestTrace", "RequestTrace"]:
+        """Split into (warm-up, measurement) sub-traces by request count.
+
+        The paper warms the cache with the first half of the workload and
+        computes all metrics over the second half (Section 4.1).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        cut = int(round(fraction * len(self._requests)))
+        return RequestTrace(self._requests[:cut]), RequestTrace(self._requests[cut:])
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the trace to ``path`` as a CSV with a header row."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._FIELDS)
+            for request in self._requests:
+                writer.writerow([request.time, request.object_id, request.client_id])
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "RequestTrace":
+        """Read a trace previously written by :meth:`to_csv`."""
+        path = Path(path)
+        requests: List[Request] = []
+        with path.open("r", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None or tuple(header) != cls._FIELDS:
+                raise TraceFormatError(
+                    f"{path}: expected header {cls._FIELDS}, got {header}"
+                )
+            for line_number, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                try:
+                    requests.append(
+                        Request(
+                            time=float(row[0]),
+                            object_id=int(row[1]),
+                            client_id=int(row[2]),
+                        )
+                    )
+                except (ValueError, IndexError) as exc:
+                    raise TraceFormatError(f"{path}:{line_number}: bad row {row!r}") from exc
+        return cls(requests)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        times: Sequence[float],
+        object_ids: Sequence[int],
+        client_ids: Sequence[int] = (),
+    ) -> "RequestTrace":
+        """Build a trace from parallel arrays (as produced by generators)."""
+        if len(times) != len(object_ids):
+            raise ConfigurationError(
+                f"times ({len(times)}) and object_ids ({len(object_ids)}) differ in length"
+            )
+        if client_ids and len(client_ids) != len(times):
+            raise ConfigurationError(
+                f"client_ids ({len(client_ids)}) must match times ({len(times)})"
+            )
+        requests = [
+            Request(
+                time=float(times[i]),
+                object_id=int(object_ids[i]),
+                client_id=int(client_ids[i]) if client_ids else 0,
+            )
+            for i in range(len(times))
+        ]
+        return cls(requests)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.distributions import ConstantBandwidthDistribution
+from repro.network.topology import DeliveryTopology
+from repro.sim.config import SimulationConfig
+from repro.workload.catalog import Catalog, MediaObject
+from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test reproducibility."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_catalog() -> Catalog:
+    """A tiny hand-built catalog with known sizes and servers."""
+    return Catalog(
+        [
+            MediaObject(object_id=0, duration=100.0, bitrate=48.0, server_id=0, value=5.0),
+            MediaObject(object_id=1, duration=200.0, bitrate=48.0, server_id=1, value=2.0),
+            MediaObject(object_id=2, duration=50.0, bitrate=96.0, server_id=2, value=9.0),
+            MediaObject(object_id=3, duration=400.0, bitrate=24.0, server_id=0, value=1.0),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_workload():
+    """A very small but fully structured GISMO workload (fast to simulate)."""
+    config = WorkloadConfig(
+        num_objects=50,
+        num_requests=1_500,
+        num_servers=10,
+        seed=7,
+    )
+    return GismoWorkloadGenerator(config).generate()
+
+
+@pytest.fixture
+def small_workload():
+    """A moderately sized workload for integration tests."""
+    config = WorkloadConfig(
+        num_objects=200,
+        num_requests=5_000,
+        num_servers=40,
+        seed=11,
+    )
+    return GismoWorkloadGenerator(config).generate()
+
+
+@pytest.fixture
+def uniform_bandwidth_topology(small_catalog, rng) -> DeliveryTopology:
+    """Topology where every path has the same 30 KB/s base bandwidth."""
+    return DeliveryTopology.build(
+        catalog=small_catalog,
+        cache_capacity_kb=10_000.0,
+        bandwidth_distribution=ConstantBandwidthDistribution(30.0),
+        rng=rng,
+    )
+
+
+@pytest.fixture
+def fast_sim_config() -> SimulationConfig:
+    """Simulation config suitable for quick unit/integration tests."""
+    return SimulationConfig(cache_size_gb=1.0, seed=5, verify_store=True)

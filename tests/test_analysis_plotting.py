@@ -1,0 +1,90 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_histogram, ascii_line_chart, sweep_chart
+from repro.core.policies import make_policy
+from repro.exceptions import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import sweep_cache_sizes
+from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
+
+
+class TestAsciiLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_line_chart(
+            [1.0, 2.0, 3.0],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "legend: o up   x down" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = ascii_line_chart([0.0, 10.0], {"s": [5.0, 15.0]})
+        assert "15" in chart
+        assert "5" in chart
+        assert "10" in chart
+
+    def test_constant_series_draws_flat_line(self):
+        chart = ascii_line_chart([1.0, 2.0], {"flat": [4.0, 4.0]})
+        plot_area = "\n".join(
+            line for line in chart.splitlines() if not line.startswith("legend:")
+        )
+        assert plot_area.count("o") == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([], {"a": []})
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([1.0], {})
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([1.0, 2.0], {"a": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([1.0], {"a": [1.0]}, width=2, height=2)
+
+
+class TestAsciiHistogram:
+    def test_bars_scale_with_counts(self):
+        histogram = ascii_histogram([0, 10, 20, 30], [1.0, 4.0, 2.0])
+        lines = histogram.splitlines()
+        assert len(lines) == 3
+        assert lines[1].count("#") > lines[0].count("#")
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_bins_merged_to_max_rows(self):
+        edges = list(range(0, 101, 10))
+        counts = [1.0] * 10
+        histogram = ascii_histogram(edges, counts, max_rows=5)
+        assert len(histogram.splitlines()) == 5
+
+    def test_title_and_counts_displayed(self):
+        histogram = ascii_histogram([0, 1], [7.0], title="hist")
+        assert histogram.startswith("hist")
+        assert "7" in histogram
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([0, 1], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([0, 1], [])
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([0, 1], [1.0], width=1)
+
+
+class TestSweepChart:
+    def test_renders_policy_series(self):
+        workload = GismoWorkloadGenerator(
+            WorkloadConfig(num_objects=30, num_requests=600, num_servers=6, seed=4)
+        ).generate()
+        sweep = sweep_cache_sizes(
+            workload,
+            {"IF": lambda: make_policy("IF"), "PB": lambda: make_policy("PB")},
+            cache_sizes_gb=[0.05, 0.2],
+            config=SimulationConfig(cache_size_gb=0.05, seed=2),
+            num_runs=1,
+        )
+        chart = sweep_chart(sweep, "traffic_reduction_ratio")
+        assert "IF" in chart and "PB" in chart
+        assert "traffic_reduction_ratio vs cache_size_gb" in chart

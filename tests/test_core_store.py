@@ -1,0 +1,136 @@
+"""Tests for the cache store's byte accounting."""
+
+import pytest
+
+from repro.core.store import CacheStore
+from repro.exceptions import CapacityError, ConfigurationError
+
+
+class TestCacheStoreBasics:
+    def test_empty_store(self):
+        store = CacheStore(1_000.0)
+        assert len(store) == 0
+        assert store.used_kb == 0.0
+        assert store.free_kb == 1_000.0
+        assert store.occupancy == 0.0
+        assert store.cached_bytes(5) == 0.0
+
+    def test_zero_capacity_store_is_legal(self):
+        store = CacheStore(0.0)
+        assert store.occupancy == 0.0
+        with pytest.raises(CapacityError):
+            store.set_cached_bytes(1, 10.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheStore(-1.0)
+
+
+class TestSetGrowTrim:
+    def test_set_and_get(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 300.0)
+        assert store.cached_bytes(1) == 300.0
+        assert store.used_kb == 300.0
+        assert 1 in store
+
+    def test_grow(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 300.0)
+        store.grow(1, 200.0)
+        assert store.cached_bytes(1) == 500.0
+
+    def test_grow_beyond_capacity_raises(self):
+        store = CacheStore(400.0)
+        store.set_cached_bytes(1, 300.0)
+        with pytest.raises(CapacityError):
+            store.grow(1, 200.0)
+
+    def test_shrink_via_set(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 500.0)
+        store.set_cached_bytes(1, 100.0)
+        assert store.used_kb == 100.0
+
+    def test_set_to_zero_removes_entry(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 500.0)
+        store.set_cached_bytes(1, 0.0)
+        assert 1 not in store
+        assert store.used_kb == 0.0
+
+    def test_trim_partial_and_full(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 500.0)
+        assert store.trim(1, 200.0) == 200.0
+        assert store.cached_bytes(1) == 300.0
+        assert store.trim(1, 1_000.0) == 300.0
+        assert 1 not in store
+
+    def test_trim_absent_object_is_noop(self):
+        store = CacheStore(1_000.0)
+        assert store.trim(9, 100.0) == 0.0
+
+    def test_evict(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 250.0)
+        assert store.evict(1) == 250.0
+        assert store.free_kb == 1_000.0
+
+    def test_validation(self):
+        store = CacheStore(1_000.0)
+        with pytest.raises(ConfigurationError):
+            store.set_cached_bytes(1, -5.0)
+        with pytest.raises(ConfigurationError):
+            store.grow(1, -5.0)
+        with pytest.raises(ConfigurationError):
+            store.trim(1, -5.0)
+
+
+class TestBookkeeping:
+    def test_touch_updates_last_access(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 100.0, now=1.0)
+        store.touch(1, 5.0)
+        assert store.state(1).last_access_time == 5.0
+        store.touch(99, 5.0)  # no-op for absent objects
+
+    def test_snapshot_is_a_copy(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 100.0)
+        snapshot = store.snapshot()
+        snapshot[1] = 999.0
+        assert store.cached_bytes(1) == 100.0
+
+    def test_clear(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 100.0)
+        store.set_cached_bytes(2, 200.0)
+        store.clear()
+        assert len(store) == 0
+        assert store.used_kb == 0.0
+
+    def test_verify_consistency(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 100.0)
+        store.set_cached_bytes(2, 200.0)
+        store.trim(1, 50.0)
+        assert store.verify_consistency()
+
+    def test_largest_entries(self):
+        store = CacheStore(10_000.0)
+        store.set_cached_bytes(1, 100.0)
+        store.set_cached_bytes(2, 500.0)
+        store.set_cached_bytes(3, 250.0)
+        assert store.largest_entries(2) == [(2, 500.0), (3, 250.0)]
+
+    def test_occupancy(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(1, 250.0)
+        assert store.occupancy == pytest.approx(0.25)
+
+    def test_iteration_yields_states(self):
+        store = CacheStore(1_000.0)
+        store.set_cached_bytes(4, 10.0)
+        ids = [entry.object_id for entry in store]
+        assert ids == [4]

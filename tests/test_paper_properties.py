@@ -1,0 +1,178 @@
+"""Qualitative reproduction tests: the orderings the paper's figures report.
+
+These are the repository's "does it reproduce the paper?" tests.  They run
+the simulation at reduced scale (a few hundred objects, a few thousand
+requests) but with the paper's distributional parameters, and assert the
+*shape* of the results — which policy wins on which metric — rather than
+absolute numbers.
+"""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.network.variability import ConstantVariability, MeasuredPathVariability
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import compare_policies
+from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A 1/25-scale Table 1 workload (200 objects, 4,000 requests)."""
+    return GismoWorkloadGenerator(
+        WorkloadConfig(num_objects=200, num_requests=4_000, num_servers=50, seed=42)
+    ).generate()
+
+
+def run_comparison(workload, policies, cache_fraction, variability=None, runs=3):
+    config = SimulationConfig(
+        cache_size_gb=cache_fraction * workload.catalog.total_size_gb,
+        variability=variability or ConstantVariability(),
+        seed=7,
+    )
+    return compare_policies(
+        workload, {name: (lambda n=name: make_policy(n)) for name in policies}, config, runs
+    )
+
+
+@pytest.fixture(scope="module")
+def figure5_comparison(workload):
+    """IF / PB / IB at a mid-range cache size under constant bandwidth."""
+    return run_comparison(workload, ("IF", "PB", "IB"), cache_fraction=0.05)
+
+
+class TestFigure5ConstantBandwidth:
+    def test_if_has_highest_traffic_reduction(self, figure5_comparison):
+        trr = figure5_comparison.metric("traffic_reduction_ratio")
+        assert trr["IF"] == max(trr.values())
+
+    def test_pb_has_lowest_traffic_reduction(self, figure5_comparison):
+        trr = figure5_comparison.metric("traffic_reduction_ratio")
+        assert trr["PB"] == min(trr.values())
+
+    def test_pb_has_lowest_delay(self, figure5_comparison):
+        delay = figure5_comparison.metric("average_service_delay")
+        assert delay["PB"] == min(delay.values())
+
+    def test_if_has_highest_delay(self, figure5_comparison):
+        delay = figure5_comparison.metric("average_service_delay")
+        assert delay["IF"] == max(delay.values())
+
+    def test_pb_has_highest_quality(self, figure5_comparison):
+        quality = figure5_comparison.metric("average_stream_quality")
+        assert quality["PB"] == max(quality.values())
+
+    def test_ib_lies_between_the_extremes_on_delay(self, figure5_comparison):
+        delay = figure5_comparison.metric("average_service_delay")
+        assert delay["PB"] <= delay["IB"] <= delay["IF"]
+
+
+class TestFigure6TemporalLocality:
+    def test_stronger_zipf_skew_improves_both_policies(self):
+        results = {}
+        for alpha in (0.5, 1.1):
+            workload = GismoWorkloadGenerator(
+                WorkloadConfig(
+                    num_objects=200, num_requests=4_000, num_servers=50,
+                    zipf_alpha=alpha, seed=13,
+                )
+            ).generate()
+            results[alpha] = run_comparison(workload, ("PB", "IB"), cache_fraction=0.05)
+        for policy in ("PB", "IB"):
+            low = results[0.5].metrics_by_policy[policy]
+            high = results[1.1].metrics_by_policy[policy]
+            assert high.traffic_reduction_ratio > low.traffic_reduction_ratio
+            assert high.average_service_delay < low.average_service_delay
+
+
+class TestFigure7And8Variability:
+    def test_variability_increases_delay_for_all_policies(self, workload, figure5_comparison):
+        variable = run_comparison(
+            workload,
+            ("IF", "PB", "IB"),
+            cache_fraction=0.05,
+            variability=MeasuredPathVariability("average"),
+        )
+        for policy in ("IF", "PB", "IB"):
+            assert (
+                variable.metrics_by_policy[policy].average_service_delay
+                >= figure5_comparison.metrics_by_policy[policy].average_service_delay * 0.95
+            )
+
+    def test_low_variability_keeps_pb_ahead_on_delay(self, workload):
+        # Figure 8: with the measured (low) variability PB still wins on delay.
+        comparison = run_comparison(
+            workload,
+            ("IF", "PB", "IB"),
+            cache_fraction=0.05,
+            variability=MeasuredPathVariability("inria"),
+        )
+        delay = comparison.metric("average_service_delay")
+        assert delay["PB"] <= delay["IF"]
+        assert delay["PB"] <= delay["IB"] * 1.1
+
+    def test_traffic_reduction_insensitive_to_variability(self, workload, figure5_comparison):
+        # Figure 7(a) vs 5(a): traffic reduction barely changes.
+        variable = run_comparison(
+            workload,
+            ("IF", "PB", "IB"),
+            cache_fraction=0.05,
+            variability=MeasuredPathVariability("average"),
+        )
+        for policy in ("IF", "PB", "IB"):
+            constant_trr = figure5_comparison.metrics_by_policy[policy].traffic_reduction_ratio
+            variable_trr = variable.metrics_by_policy[policy].traffic_reduction_ratio
+            assert variable_trr == pytest.approx(constant_trr, abs=0.08)
+
+
+class TestFigure9EstimatorSpectrum:
+    def test_smaller_e_reduces_traffic_more(self, workload):
+        config = SimulationConfig(
+            cache_size_gb=0.05 * workload.catalog.total_size_gb,
+            variability=MeasuredPathVariability("average"),
+            seed=7,
+        )
+        comparison = compare_policies(
+            workload,
+            {
+                "e=0.3": lambda: make_policy("PB", estimator_e=0.3),
+                "e=1.0": lambda: make_policy("PB", estimator_e=1.0),
+            },
+            config,
+            num_runs=3,
+        )
+        trr = comparison.metric("traffic_reduction_ratio")
+        # Conservative estimation caches bigger prefixes of fewer objects,
+        # which serves more bytes from the cache for the hottest objects.
+        assert trr["e=0.3"] >= trr["e=1.0"]
+
+
+class TestFigure10And11Value:
+    def test_value_policies_beat_if_on_added_value(self, workload):
+        comparison = run_comparison(workload, ("IF", "PB-V", "IB-V"), cache_fraction=0.05)
+        value = comparison.metric("total_added_value")
+        assert value["PB-V"] >= value["IF"]
+        assert value["IB-V"] >= value["IF"]
+
+    def test_if_beats_value_policies_on_traffic_reduction(self, workload):
+        comparison = run_comparison(workload, ("IF", "PB-V", "IB-V"), cache_fraction=0.05)
+        trr = comparison.metric("traffic_reduction_ratio")
+        assert trr["IF"] == max(trr.values())
+
+    def test_pbv_leads_on_value_under_constant_bandwidth(self, workload):
+        comparison = run_comparison(workload, ("PB-V", "IB-V"), cache_fraction=0.02)
+        value = comparison.metric("total_added_value")
+        assert value["PB-V"] >= value["IB-V"] * 0.97
+
+
+class TestNetworkAwareBeatsClassicBaselines:
+    def test_pb_beats_lru_on_delay_and_quality(self, workload):
+        comparison = run_comparison(workload, ("PB", "LRU"), cache_fraction=0.05)
+        assert (
+            comparison.metrics_by_policy["PB"].average_service_delay
+            < comparison.metrics_by_policy["LRU"].average_service_delay
+        )
+        assert (
+            comparison.metrics_by_policy["PB"].average_stream_quality
+            > comparison.metrics_by_policy["LRU"].average_stream_quality
+        )

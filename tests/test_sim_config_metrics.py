@@ -1,0 +1,148 @@
+"""Tests for simulation configuration and the metrics collector."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.variability import NLANRRatioVariability
+from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.streaming.session import DeliveryOutcome
+
+
+def make_outcome(
+    object_id=1,
+    delay=0.0,
+    quality=1.0,
+    from_cache=100.0,
+    from_server=100.0,
+    value=5.0,
+    immediate=True,
+):
+    return DeliveryOutcome(
+        object_id=object_id,
+        service_delay=delay,
+        stream_quality=quality,
+        bytes_from_cache=from_cache,
+        bytes_from_server=from_server,
+        observed_bandwidth=50.0,
+        cached_fraction=from_cache / (from_cache + from_server),
+        value=value,
+        immediate_full_quality=immediate,
+    )
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.cache_size_gb == 16.0
+        assert config.cache_size_kb == pytest.approx(16e6)
+        assert config.bandwidth_knowledge is BandwidthKnowledge.ORACLE
+        assert config.warmup_fraction == 0.5
+
+    def test_with_helpers_return_copies(self):
+        config = SimulationConfig(cache_size_gb=4.0, seed=1)
+        bigger = config.with_cache_size(32.0)
+        reseeded = config.with_seed(9)
+        varied = config.with_variability(NLANRRatioVariability())
+        assert config.cache_size_gb == 4.0
+        assert bigger.cache_size_gb == 32.0
+        assert reseeded.seed == 9 and config.seed == 1
+        assert varied.variability.coefficient_of_variation() > 0
+        assert config.variability.coefficient_of_variation() == 0
+
+    def test_cache_fraction_of(self):
+        config = SimulationConfig(cache_size_gb=8.0)
+        assert config.cache_fraction_of(80e6) == pytest.approx(0.1)
+        assert config.cache_fraction_of(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(cache_size_gb=-1.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(warmup_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(min_path_bandwidth=-1.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(passive_smoothing=0.0)
+
+
+class TestMetricsCollector:
+    def test_warmup_requests_not_measured(self):
+        collector = MetricsCollector()
+        collector.record(make_outcome())
+        collector.measuring = True
+        collector.record(make_outcome())
+        metrics = collector.finalize()
+        assert collector.warmup_requests == 1
+        assert metrics.requests == 1
+
+    def test_traffic_reduction_ratio(self):
+        collector = MetricsCollector(measuring=True)
+        collector.record(make_outcome(from_cache=300.0, from_server=100.0))
+        collector.record(make_outcome(from_cache=0.0, from_server=400.0))
+        metrics = collector.finalize()
+        assert metrics.traffic_reduction_ratio == pytest.approx(300.0 / 800.0)
+        assert metrics.byte_hit_ratio == pytest.approx(300.0 / 800.0)
+        assert metrics.hit_ratio == pytest.approx(0.5)
+
+    def test_delay_and_quality_averages(self):
+        collector = MetricsCollector(measuring=True)
+        collector.record(make_outcome(delay=0.0, quality=1.0))
+        collector.record(make_outcome(delay=10.0, quality=0.5, immediate=False))
+        metrics = collector.finalize()
+        assert metrics.average_service_delay == pytest.approx(5.0)
+        assert metrics.average_stream_quality == pytest.approx(0.75)
+        assert metrics.average_delay_among_delayed == pytest.approx(10.0)
+        assert metrics.delayed_request_ratio == pytest.approx(0.5)
+
+    def test_added_value_counts_only_immediate_service(self):
+        collector = MetricsCollector(measuring=True)
+        collector.record(make_outcome(value=7.0, immediate=True))
+        collector.record(make_outcome(value=9.0, immediate=False, delay=5.0))
+        metrics = collector.finalize()
+        assert metrics.total_added_value == pytest.approx(7.0)
+        assert metrics.immediate_service_ratio == pytest.approx(0.5)
+
+    def test_empty_measurement_phase(self):
+        metrics = MetricsCollector(measuring=True).finalize()
+        assert metrics.requests == 0
+        assert metrics.traffic_reduction_ratio == 0.0
+        assert metrics.average_stream_quality == 1.0
+
+    def test_top_hit_objects(self):
+        collector = MetricsCollector(measuring=True)
+        for _ in range(3):
+            collector.record(make_outcome(object_id=4))
+        collector.record(make_outcome(object_id=9))
+        assert collector.top_hit_objects(1) == [4]
+
+
+class TestSimulationMetricsAverage:
+    def test_average_of_identical_metrics_is_identity(self):
+        collector = MetricsCollector(measuring=True)
+        collector.record(make_outcome())
+        metrics = collector.finalize()
+        averaged = SimulationMetrics.average([metrics, metrics, metrics])
+        assert averaged.traffic_reduction_ratio == metrics.traffic_reduction_ratio
+        assert averaged.requests == metrics.requests
+
+    def test_average_mixes_values(self):
+        collector_a = MetricsCollector(measuring=True)
+        collector_a.record(make_outcome(delay=0.0))
+        collector_b = MetricsCollector(measuring=True)
+        collector_b.record(make_outcome(delay=10.0, immediate=False))
+        averaged = SimulationMetrics.average(
+            [collector_a.finalize(), collector_b.finalize()]
+        )
+        assert averaged.average_service_delay == pytest.approx(5.0)
+
+    def test_average_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationMetrics.average([])
+
+    def test_as_dict_round_trip(self):
+        collector = MetricsCollector(measuring=True)
+        collector.record(make_outcome())
+        data = collector.finalize().as_dict()
+        assert data["requests"] == 1.0
+        assert "traffic_reduction_ratio" in data

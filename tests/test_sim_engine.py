@@ -1,0 +1,107 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import EventQueue, SimulationEngine
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda e, p: order.append(p), "c")
+        queue.push(1.0, lambda e, p: order.append(p), "a")
+        queue.push(2.0, lambda e, p: order.append(p), "b")
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.handler(None, event.payload)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_priority_then_sequence(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda e, p: None, "second", priority=1)
+        queue.push(1.0, lambda e, p: None, "first", priority=0)
+        queue.push(1.0, lambda e, p: None, "third", priority=1)
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+        assert queue.pop().payload == "third"
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda e, p: None, "x")
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda e, p: None)
+        queue.push(2.0, lambda e, p: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1
+
+
+class TestSimulationEngine:
+    def test_clock_advances_with_events(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(5.0, lambda e, p: times.append(e.now))
+        engine.schedule(2.0, lambda e, p: times.append(e.now))
+        processed = engine.run()
+        assert processed == 2
+        assert times == [2.0, 5.0]
+        assert engine.now == 5.0
+
+    def test_handlers_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def handler(eng, payload):
+            seen.append(payload)
+            if payload < 3:
+                eng.schedule_after(1.0, handler, payload + 1)
+
+        engine.schedule(0.0, handler, 0)
+        engine.run()
+        assert seen == [0, 1, 2, 3]
+        assert engine.events_processed == 4
+
+    def test_run_until_limit(self):
+        engine = SimulationEngine()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda e, p: seen.append(p), t)
+        engine.run(until=2.5)
+        assert seen == [1.0, 2.0]
+        assert engine.now == 2.5
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        for t in range(10):
+            engine.schedule(float(t), lambda e, p: None)
+        assert engine.run(max_events=4) == 4
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule(5.0, lambda e, p: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda e, p: None)
+
+    def test_stop_cancels_outstanding_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def stopper(eng, payload):
+            seen.append("stop")
+            eng.stop()
+
+        engine.schedule(1.0, stopper)
+        engine.schedule(2.0, lambda e, p: seen.append("should not run"))
+        engine.run()
+        assert seen == ["stop"]

@@ -1,0 +1,101 @@
+"""Tests for fine-grain segment maintenance of partially cached objects."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streaming.segmentation import Segment, SegmentationScheme, SegmentedPrefix
+
+
+class TestSegment:
+    def test_size(self):
+        assert Segment(index=0, start=0.0, end=256.0).size == 256.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Segment(index=0, start=-1.0, end=10.0)
+        with pytest.raises(ConfigurationError):
+            Segment(index=0, start=10.0, end=10.0)
+
+
+class TestSegmentationScheme:
+    def test_fixed_size_segments_cover_object(self):
+        scheme = SegmentationScheme(base_segment_kb=100.0, exponential=False)
+        segments = scheme.segments(350.0)
+        assert [s.size for s in segments] == [100.0, 100.0, 100.0, 50.0]
+        assert segments[0].start == 0.0
+        assert segments[-1].end == 350.0
+
+    def test_exponential_segments_double(self):
+        scheme = SegmentationScheme(base_segment_kb=64.0, exponential=True)
+        segments = scheme.segments(64.0 + 128.0 + 256.0)
+        assert [s.size for s in segments] == [64.0, 128.0, 256.0]
+
+    def test_exponential_needs_logarithmic_count(self):
+        scheme = SegmentationScheme(base_segment_kb=1.0, exponential=True)
+        # A ~1 GB object divides into only ~20 exponential segments.
+        assert len(scheme.segments(1_000_000.0)) <= 21
+
+    def test_segments_for_prefix(self):
+        scheme = SegmentationScheme(base_segment_kb=100.0, exponential=False)
+        covered = scheme.segments_for_prefix(400.0, 150.0)
+        assert [s.index for s in covered] == [0, 1]
+        assert scheme.segments_for_prefix(400.0, 0.0) == []
+
+    def test_zero_size_object(self):
+        assert SegmentationScheme().segments(0.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SegmentationScheme(base_segment_kb=0.0)
+        with pytest.raises(ConfigurationError):
+            SegmentationScheme().segments(-1.0)
+
+
+class TestSegmentedPrefix:
+    def make(self, size=1_000.0, base=100.0, exponential=False):
+        return SegmentedPrefix(
+            size, SegmentationScheme(base_segment_kb=base, exponential=exponential)
+        )
+
+    def test_starts_empty(self):
+        prefix = self.make()
+        assert prefix.cached_bytes == 0.0
+        assert prefix.resident_segments == []
+        assert prefix.missing_ranges() == [(0.0, 1_000.0)]
+
+    def test_grow_to_rounds_up_to_segment_boundary(self):
+        prefix = self.make()
+        cached = prefix.grow_to(250.0)
+        assert cached == pytest.approx(300.0)  # three 100 KB segments
+        assert len(prefix.resident_segments) == 3
+
+    def test_grow_beyond_object_caps_at_size(self):
+        prefix = self.make(size=250.0)
+        assert prefix.grow_to(1e9) == pytest.approx(250.0)
+        assert prefix.missing_ranges() == []
+
+    def test_trim_to_drops_trailing_segments(self):
+        prefix = self.make()
+        prefix.grow_to(500.0)
+        remaining = prefix.trim_to(250.0)
+        assert remaining == pytest.approx(200.0)
+        assert prefix.missing_ranges() == [(200.0, 1_000.0)]
+
+    def test_holds_prefix(self):
+        prefix = self.make()
+        prefix.grow_to(300.0)
+        assert prefix.holds_prefix(250.0)
+        assert prefix.holds_prefix(300.0)
+        assert not prefix.holds_prefix(301.0)
+
+    def test_metadata_entries_counts_all_segments(self):
+        assert self.make(size=1_000.0, base=100.0).metadata_entries() == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SegmentedPrefix(0.0)
+        prefix = self.make()
+        with pytest.raises(ConfigurationError):
+            prefix.grow_to(-1.0)
+        with pytest.raises(ConfigurationError):
+            prefix.trim_to(-1.0)

@@ -1,0 +1,96 @@
+"""Tests for popularity models (Zipf, uniform, empirical)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workload.popularity import (
+    EmpiricalPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+    zipf_rank_concentration,
+)
+
+
+class TestZipfPopularity:
+    def test_probabilities_sum_to_one(self):
+        probs = ZipfPopularity(0.73).probabilities(5000)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probabilities_decreasing_in_rank(self):
+        probs = ZipfPopularity(0.73).probabilities(100)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_alpha_zero_is_uniform(self):
+        probs = ZipfPopularity(0.0).probabilities(10)
+        assert np.allclose(probs, 0.1)
+
+    def test_higher_alpha_concentrates_mass(self):
+        low = ZipfPopularity(0.5).probabilities(1000)
+        high = ZipfPopularity(1.2).probabilities(1000)
+        assert high[0] > low[0]
+        assert high[:10].sum() > low[:10].sum()
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(-0.1)
+
+    def test_zero_objects_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(0.73).probabilities(0)
+
+    def test_sample_ranks_within_range(self, rng):
+        ranks = ZipfPopularity(0.73).sample_ranks(50, 10_000, rng)
+        assert ranks.min() >= 0
+        assert ranks.max() < 50
+
+    def test_sample_ranks_skewed_toward_low_ranks(self, rng):
+        ranks = ZipfPopularity(1.0).sample_ranks(100, 20_000, rng)
+        top_share = np.mean(ranks < 10)
+        assert top_share > 0.35  # top 10% of objects get well over 10% of requests
+
+    def test_expected_rates_scale_with_requests(self):
+        rates = ZipfPopularity(0.73).expected_rates(100, 10_000)
+        assert rates.sum() == pytest.approx(10_000)
+
+
+class TestUniformPopularity:
+    def test_uniform_probabilities(self):
+        probs = UniformPopularity().probabilities(20)
+        assert np.allclose(probs, 1.0 / 20)
+
+    def test_zero_objects_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformPopularity().probabilities(0)
+
+
+class TestEmpiricalPopularity:
+    def test_normalises_weights(self):
+        probs = EmpiricalPopularity([2.0, 1.0, 1.0]).probabilities()
+        assert probs.tolist() == pytest.approx([0.5, 0.25, 0.25])
+
+    def test_rejects_empty_or_negative(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalPopularity([])
+        with pytest.raises(ConfigurationError):
+            EmpiricalPopularity([1.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            EmpiricalPopularity([0.0, 0.0])
+
+    def test_size_mismatch_rejected(self):
+        model = EmpiricalPopularity([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            model.probabilities(3)
+
+
+def test_zipf_rank_concentration_monotone_in_alpha():
+    low = zipf_rank_concentration(0.5, 1000, 0.1)
+    high = zipf_rank_concentration(1.2, 1000, 0.1)
+    assert 0.0 < low < high < 1.0
+
+
+def test_zipf_rank_concentration_validates_fraction():
+    with pytest.raises(ConfigurationError):
+        zipf_rank_concentration(0.73, 1000, 0.0)
+    with pytest.raises(ConfigurationError):
+        zipf_rank_concentration(0.73, 1000, 1.5)

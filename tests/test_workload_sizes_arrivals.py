@@ -1,0 +1,135 @@
+"""Tests for object duration, bit-rate, and arrival-process models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workload.arrivals import (
+    DeterministicArrivalProcess,
+    MarkovModulatedPoissonProcess,
+    PoissonArrivalProcess,
+)
+from repro.workload.sizes import (
+    ConstantBitrateModel,
+    ConstantDurationModel,
+    HeterogeneousBitrateModel,
+    LognormalDurationModel,
+)
+
+
+class TestLognormalDurationModel:
+    def test_mean_matches_table1(self):
+        # exp(3.85 + 0.56^2/2) minutes ~= 55 minutes ~= 3290 seconds.
+        model = LognormalDurationModel()
+        assert model.mean() == pytest.approx(55.0 * 60.0, rel=0.05)
+
+    def test_sample_mean_close_to_analytical(self, rng):
+        model = LognormalDurationModel()
+        samples = model.sample(20_000, rng)
+        assert samples.mean() == pytest.approx(model.mean(), rel=0.05)
+
+    def test_samples_respect_truncation(self, rng):
+        model = LognormalDurationModel(min_minutes=10.0, max_minutes=60.0)
+        samples = model.sample(5_000, rng)
+        assert samples.min() >= 10.0 * 60.0 - 1e-9
+        assert samples.max() <= 60.0 * 60.0 + 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LognormalDurationModel(sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            LognormalDurationModel(min_minutes=10.0, max_minutes=5.0)
+        with pytest.raises(ConfigurationError):
+            LognormalDurationModel().sample(0, np.random.default_rng(0))
+
+
+class TestConstantDurationModel:
+    def test_constant(self, rng):
+        model = ConstantDurationModel(120.0)
+        assert model.mean() == 120.0
+        assert np.all(model.sample(10, rng) == 120.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDurationModel(0.0)
+
+
+class TestBitrateModels:
+    def test_constant_bitrate_default_is_48(self, rng):
+        samples = ConstantBitrateModel().sample(5, rng)
+        assert np.all(samples == 48.0)
+
+    def test_constant_bitrate_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantBitrateModel(0.0)
+
+    def test_heterogeneous_bitrate_samples_from_given_rates(self, rng):
+        model = HeterogeneousBitrateModel(rates=(20.0, 48.0, 110.0), weights=(1, 1, 2))
+        samples = model.sample(5_000, rng)
+        assert set(np.unique(samples)).issubset({20.0, 48.0, 110.0})
+        # The 110 KB/s profile has twice the weight of each other profile.
+        assert np.mean(samples == 110.0) == pytest.approx(0.5, abs=0.05)
+
+    def test_heterogeneous_bitrate_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousBitrateModel(rates=(), weights=())
+        with pytest.raises(ConfigurationError):
+            HeterogeneousBitrateModel(rates=(10.0,), weights=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            HeterogeneousBitrateModel(rates=(-1.0,), weights=(1.0,))
+        with pytest.raises(ConfigurationError):
+            HeterogeneousBitrateModel(rates=(10.0,), weights=(0.0,))
+
+
+class TestPoissonArrivals:
+    def test_times_sorted_and_positive(self, rng):
+        times = PoissonArrivalProcess(rate=2.0).sample(1_000, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] > 0
+
+    def test_rate_matches_expected_span(self, rng):
+        process = PoissonArrivalProcess(rate=0.5)
+        times = process.sample(20_000, rng)
+        assert times[-1] == pytest.approx(process.expected_span(20_000), rel=0.05)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivalProcess(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivalProcess(rate=1.0).sample(0, rng)
+
+
+class TestDeterministicArrivals:
+    def test_evenly_spaced(self, rng):
+        times = DeterministicArrivalProcess(interval=2.0).sample(5, rng)
+        assert times.tolist() == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicArrivalProcess(interval=0.0)
+
+
+class TestMarkovModulatedArrivals:
+    def test_times_sorted(self, rng):
+        process = MarkovModulatedPoissonProcess(
+            low_rate=0.1, high_rate=5.0, mean_low_duration=100.0, mean_high_duration=20.0
+        )
+        times = process.sample(2_000, rng)
+        assert len(times) == 2_000
+        assert np.all(np.diff(times) >= 0)
+
+    def test_burstier_than_poisson(self, rng):
+        mmpp = MarkovModulatedPoissonProcess(
+            low_rate=0.1, high_rate=10.0, mean_low_duration=200.0, mean_high_duration=50.0
+        )
+        bursty = np.diff(mmpp.sample(5_000, rng))
+        poisson = np.diff(PoissonArrivalProcess(rate=1.0).sample(5_000, rng))
+        cov_bursty = bursty.std() / bursty.mean()
+        cov_poisson = poisson.std() / poisson.mean()
+        assert cov_bursty > cov_poisson
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedPoissonProcess(0.0, 1.0, 10.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedPoissonProcess(1.0, 1.0, 0.0, 10.0)

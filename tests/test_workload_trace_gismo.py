@@ -1,0 +1,173 @@
+"""Tests for request traces and the GISMO workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TraceFormatError
+from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig, table1_workload
+from repro.workload.trace import Request, RequestTrace
+
+
+class TestRequest:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Request(time=-1.0, object_id=0)
+
+
+class TestRequestTrace:
+    def make_trace(self):
+        return RequestTrace(
+            [
+                Request(time=1.0, object_id=3),
+                Request(time=2.0, object_id=1),
+                Request(time=2.5, object_id=3),
+                Request(time=4.0, object_id=2),
+            ]
+        )
+
+    def test_len_duration_bounds(self):
+        trace = self.make_trace()
+        assert len(trace) == 4
+        assert trace.start_time == 1.0
+        assert trace.end_time == 4.0
+        assert trace.duration == pytest.approx(3.0)
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestTrace([Request(time=2.0, object_id=0), Request(time=1.0, object_id=1)])
+
+    def test_object_ids_first_seen_order(self):
+        assert self.make_trace().object_ids() == [3, 1, 2]
+
+    def test_request_counts(self):
+        assert self.make_trace().request_counts() == {3: 2, 1: 1, 2: 1}
+
+    def test_split_halves(self):
+        warmup, measure = self.make_trace().split(0.5)
+        assert len(warmup) == 2
+        assert len(measure) == 2
+        assert measure[0].object_id == 3
+
+    def test_split_validates_fraction(self):
+        with pytest.raises(ConfigurationError):
+            self.make_trace().split(1.5)
+
+    def test_slicing_returns_trace(self):
+        sliced = self.make_trace()[1:3]
+        assert isinstance(sliced, RequestTrace)
+        assert len(sliced) == 2
+
+    def test_csv_roundtrip(self, tmp_path):
+        trace = self.make_trace()
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        assert RequestTrace.from_csv(path) == trace
+
+    def test_csv_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(TraceFormatError):
+            RequestTrace.from_csv(path)
+
+    def test_csv_bad_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,object_id,client_id\n1.0,notanint,0\n")
+        with pytest.raises(TraceFormatError):
+            RequestTrace.from_csv(path)
+
+    def test_from_arrays_validation(self):
+        with pytest.raises(ConfigurationError):
+            RequestTrace.from_arrays([1.0, 2.0], [1])
+        with pytest.raises(ConfigurationError):
+            RequestTrace.from_arrays([1.0], [1], client_ids=[1, 2])
+
+    def test_empty_trace_properties(self):
+        empty = RequestTrace([])
+        assert len(empty) == 0
+        assert empty.duration == 0.0
+        assert empty.object_ids() == []
+
+
+class TestWorkloadConfig:
+    def test_defaults_follow_table1(self):
+        config = WorkloadConfig()
+        assert config.num_objects == 5_000
+        assert config.num_requests == 100_000
+        assert config.zipf_alpha == pytest.approx(0.73)
+        assert config.bitrate == pytest.approx(48.0)
+
+    def test_scaled_preserves_shape(self):
+        scaled = WorkloadConfig().scaled(0.1)
+        assert scaled.num_objects == 500
+        assert scaled.num_requests == 10_000
+        assert scaled.zipf_alpha == pytest.approx(0.73)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig().scaled(0.0)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_objects=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_requests=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(value_min=5.0, value_max=1.0)
+
+
+class TestGismoWorkloadGenerator:
+    def test_generation_is_deterministic(self):
+        config = WorkloadConfig(num_objects=30, num_requests=500, num_servers=5, seed=3)
+        first = GismoWorkloadGenerator(config).generate()
+        second = GismoWorkloadGenerator(config).generate()
+        assert first.trace == second.trace
+        assert first.catalog.total_size == pytest.approx(second.catalog.total_size)
+
+    def test_catalog_matches_config(self, tiny_workload):
+        config = tiny_workload.config
+        assert len(tiny_workload.catalog) == config.num_objects
+        assert len(tiny_workload.trace) == config.num_requests
+        servers = set(obj.server_id for obj in tiny_workload.catalog)
+        assert servers.issubset(set(range(config.num_servers)))
+
+    def test_object_values_within_range(self, tiny_workload):
+        for obj in tiny_workload.catalog:
+            assert 1.0 <= obj.value <= 10.0
+
+    def test_requests_reference_catalog_objects(self, tiny_workload):
+        ids = set(tiny_workload.catalog.object_ids())
+        assert all(request.object_id in ids for request in tiny_workload.trace)
+
+    def test_popularity_skew_visible_in_trace(self, tiny_workload):
+        counts = tiny_workload.trace.request_counts()
+        top_object = max(counts, key=counts.get)
+        # Low-ranked object ids are the popular ones by construction.
+        assert top_object < len(tiny_workload.catalog) / 4
+
+    def test_expected_rates_sum_to_requests(self, tiny_workload):
+        assert tiny_workload.expected_rates.sum() == pytest.approx(
+            tiny_workload.config.num_requests
+        )
+
+    def test_describe_reports_requests(self, tiny_workload):
+        summary = tiny_workload.describe()
+        assert summary["requests"] == float(len(tiny_workload.trace))
+        assert summary["zipf_alpha"] == pytest.approx(0.73)
+
+
+class TestTable1Workload:
+    def test_full_scale_matches_paper_totals(self):
+        workload = table1_workload(seed=0, scale=0.02)
+        # At 2% scale: 100 objects, 2000 requests; shape parameters unchanged.
+        assert len(workload.catalog) == 100
+        assert len(workload.trace) == 2_000
+
+    def test_total_size_extrapolates_to_about_790_gb(self):
+        # Mean object size is ~55 min * 48 KB/s ~ 158 MB; 5000 objects ~ 790 GB.
+        workload = table1_workload(seed=1, scale=0.05)
+        scaled_total = workload.catalog.total_size_gb / 0.05
+        assert scaled_total == pytest.approx(790.0, rel=0.15)
+
+    def test_scale_rejected_when_invalid(self):
+        with pytest.raises(ConfigurationError):
+            table1_workload(scale=-1.0)
