@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-full bench-figures
+
+## Tier-1 verification: the full test + benchmark suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Quick throughput regression gate: replays a small (20k-request) trace on
+## the fast path and fails if it is >30% slower than the baseline recorded
+## in BENCH_perf.json.
+bench-smoke:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_perf_throughput.py -k smoke
+
+## Full throughput measurement: 200k-request replay on both paths,
+## rewrites BENCH_perf.json (the repo's performance trajectory).
+bench-full:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_perf_throughput.py
+
+## The paper-figure benchmarks (pytest-benchmark timings, printed tables).
+bench-figures:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

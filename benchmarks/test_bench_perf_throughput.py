@@ -1,0 +1,149 @@
+"""Raw simulation-core throughput: fast-path replay vs the event calendar.
+
+Unlike the figure benchmarks (which time whole experiments), this
+microbenchmark isolates the replay loop itself: one ~200k-request trace is
+replayed twice against identical topologies — once through the discrete-event
+calendar (the pre-optimisation baseline path) and once through the fast path
+— and the requests/second of both, the speedup, and the policy heap's peak
+size are written to ``BENCH_perf.json`` at the repository root.  That file is
+the repo's performance trajectory: the ``smoke`` section it records is the
+baseline the quick regression gate (:func:`test_throughput_smoke_regression`,
+``make bench-smoke``) compares against.
+
+The two paths must also agree *bit-for-bit* on every metric — the speedup is
+only worth having if it is free of behavioural drift.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import build_workload
+from repro.core.policies import make_policy
+from repro.network.variability import NLANRRatioVariability
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import ProxyCacheSimulator
+
+#: Where the throughput record lives (repository root, next to ROADMAP.md).
+BENCH_PERF_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Workload scale for the full benchmark: 2x the paper's volume = 200k
+#: requests over 10k objects, enough for per-request costs to dominate.
+FULL_SCALE = 2.0
+
+#: Workload scale for the smoke regression gate (20k requests).
+SMOKE_SCALE = 0.2
+
+#: The benchmark policy and network model: PB under the high-variability
+#: NLANR ratio model, the paper's most demanding headline configuration.
+BENCH_POLICY = "PB"
+BENCH_CACHE_GB = 16.0
+BENCH_SEED = 0
+
+#: A smoke run slower than ``1 - SMOKE_REGRESSION_TOLERANCE`` times the
+#: recorded baseline fails the gate.
+SMOKE_REGRESSION_TOLERANCE = 0.30
+
+
+def _build_simulator(scale: float):
+    workload = build_workload(scale=scale, seed=BENCH_SEED)
+    config = SimulationConfig(
+        cache_size_gb=BENCH_CACHE_GB,
+        variability=NLANRRatioVariability(),
+        seed=BENCH_SEED,
+    )
+    simulator = ProxyCacheSimulator(workload, config)
+    topology = simulator.build_topology(np.random.default_rng(BENCH_SEED))
+    return workload, simulator, topology
+
+
+def _timed_run(simulator, topology, use_fast_path: bool):
+    policy = make_policy(BENCH_POLICY)
+    start = time.perf_counter()
+    result = simulator.run(policy, topology=topology, use_fast_path=use_fast_path)
+    elapsed = time.perf_counter() - start
+    return result, policy, elapsed
+
+
+def test_throughput_full_200k():
+    """Replay 200k requests on both paths; record the trajectory file."""
+    workload, simulator, topology = _build_simulator(FULL_SCALE)
+    requests = len(workload.trace)
+    assert requests == 200_000
+
+    event_result, _, event_elapsed = _timed_run(simulator, topology, use_fast_path=False)
+    fast_result, fast_policy, fast_elapsed = _timed_run(
+        simulator, topology, use_fast_path=True
+    )
+
+    # The whole point: same simulation, bit-identical metrics.
+    assert fast_result.used_fast_path and not event_result.used_fast_path
+    assert fast_result.as_dict() == event_result.as_dict()
+
+    event_rps = requests / event_elapsed
+    fast_rps = requests / fast_elapsed
+    speedup = fast_rps / event_rps
+    heap_stats = fast_policy.heap_statistics()
+
+    # Conservative floor so a loaded CI machine does not flap the suite; the
+    # recorded speedup (see BENCH_perf.json) is the real trajectory number.
+    assert speedup >= 2.5, f"fast path only {speedup:.2f}x over the event path"
+    # Compaction must be bounding the heap: live entries never exceed the
+    # catalog size, so the peak can never stray past twice that plus slack.
+    assert heap_stats["peak_size"] <= 2 * len(workload.catalog) + 128
+
+    # Smoke-sized fast-path run, measured here so the regression gate always
+    # compares smoke against smoke.
+    smoke_workload, smoke_simulator, smoke_topology = _build_simulator(SMOKE_SCALE)
+    _, _, smoke_elapsed = _timed_run(smoke_simulator, smoke_topology, use_fast_path=True)
+    smoke_rps = len(smoke_workload.trace) / smoke_elapsed
+
+    BENCH_PERF_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "trace-replay throughput (policy PB, NLANR variability)",
+                "requests": requests,
+                "event_path_requests_per_sec": round(event_rps, 1),
+                "fast_path_requests_per_sec": round(fast_rps, 1),
+                "speedup": round(speedup, 2),
+                "heap": {
+                    "peak_size": heap_stats["peak_size"],
+                    "final_size": heap_stats["size"],
+                    "live_entries": heap_stats["live_entries"],
+                    "compactions": heap_stats["compactions"],
+                },
+                "smoke": {
+                    "requests": len(smoke_workload.trace),
+                    "fast_path_requests_per_sec": round(smoke_rps, 1),
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def test_throughput_smoke_regression():
+    """Fail when the small-trace replay regresses >30% against the record."""
+    if not BENCH_PERF_PATH.exists():
+        pytest.skip("no BENCH_perf.json baseline; run `make bench-full` first")
+    baseline = json.loads(BENCH_PERF_PATH.read_text())["smoke"]
+
+    workload, simulator, topology = _build_simulator(SMOKE_SCALE)
+    assert len(workload.trace) == baseline["requests"]
+    # Warm once (imports, allocator), then time.
+    _timed_run(simulator, topology, use_fast_path=True)
+    _, _, elapsed = _timed_run(simulator, topology, use_fast_path=True)
+    rps = len(workload.trace) / elapsed
+
+    floor = (1.0 - SMOKE_REGRESSION_TOLERANCE) * baseline["fast_path_requests_per_sec"]
+    assert rps >= floor, (
+        f"fast-path throughput regressed: {rps:,.0f} req/s vs baseline "
+        f"{baseline['fast_path_requests_per_sec']:,.0f} req/s "
+        f"(floor {floor:,.0f})"
+    )

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.policies import make_policy
+from repro.core.policies import PolicySpec
 from repro.exceptions import ConfigurationError
 from repro.network.loganalysis import ProxyLogAnalyzer, SyntheticProxyLog
 from repro.network.variability import (
@@ -83,7 +83,9 @@ def cache_sizes_gb_for(workload: Workload, fractions: Sequence[float]) -> List[f
 
 
 def _policy_factories(names: Sequence[str]) -> Dict[str, Callable[[], object]]:
-    return {name: (lambda n=name: make_policy(n)) for name in names}
+    # PolicySpec rather than lambdas: the factories must survive pickling
+    # when experiments fan out over worker processes (n_jobs > 1).
+    return {name: PolicySpec(name) for name in names}
 
 
 def _cache_size_sweep(
@@ -94,6 +96,7 @@ def _cache_size_sweep(
     cache_fractions: Sequence[float],
     seed: int,
     zipf_alpha: float = 0.73,
+    n_jobs: int = 1,
 ) -> SweepResult:
     workload = build_workload(scale=scale, zipf_alpha=zipf_alpha, seed=seed)
     config = SimulationConfig(variability=variability, seed=seed)
@@ -103,6 +106,7 @@ def _cache_size_sweep(
         cache_sizes_gb_for(workload, cache_fractions),
         config=config,
         num_runs=num_runs,
+        n_jobs=n_jobs,
     )
     # Re-express the x-axis as a fraction of unique object size, as the
     # paper's figures do.
@@ -209,10 +213,17 @@ def experiment_fig5_constant_bandwidth(
     num_runs: int = 3,
     cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Figure 5: IF vs PB vs IB under the constant-bandwidth assumption."""
     sweep = _cache_size_sweep(
-        ("IF", "PB", "IB"), ConstantVariability(), scale, num_runs, cache_fractions, seed
+        ("IF", "PB", "IB"),
+        ConstantVariability(),
+        scale,
+        num_runs,
+        cache_fractions,
+        seed,
+        n_jobs=n_jobs,
     )
     return ExperimentResult(
         experiment_id="fig5",
@@ -235,6 +246,7 @@ def experiment_fig6_zipf_sweep(
     scale: float = DEFAULT_SCALE,
     num_runs: int = 2,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Figure 6: PB and IB as the Zipf skew alpha varies from 0.5 to 1.2."""
     surfaces: Dict[float, SweepResult] = {}
@@ -247,6 +259,7 @@ def experiment_fig6_zipf_sweep(
             cache_fractions,
             seed,
             zipf_alpha=float(alpha),
+            n_jobs=n_jobs,
         )
     return ExperimentResult(
         experiment_id="fig6",
@@ -267,10 +280,17 @@ def experiment_fig7_high_variability(
     num_runs: int = 3,
     cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Figure 7: IF / PB / IB under the high (NLANR) bandwidth variability."""
     sweep = _cache_size_sweep(
-        ("IF", "PB", "IB"), NLANRRatioVariability(), scale, num_runs, cache_fractions, seed
+        ("IF", "PB", "IB"),
+        NLANRRatioVariability(),
+        scale,
+        num_runs,
+        cache_fractions,
+        seed,
+        n_jobs=n_jobs,
     )
     return ExperimentResult(
         experiment_id="fig7",
@@ -288,6 +308,7 @@ def experiment_fig8_low_variability(
     num_runs: int = 3,
     cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Figure 8: IF / PB / IB under the lower measured-path variability."""
     sweep = _cache_size_sweep(
@@ -297,6 +318,7 @@ def experiment_fig8_low_variability(
         num_runs,
         cache_fractions,
         seed,
+        n_jobs=n_jobs,
     )
     return ExperimentResult(
         experiment_id="fig8",
@@ -316,6 +338,7 @@ def experiment_fig9_estimator_sweep(
     num_runs: int = 2,
     seed: int = 0,
     variability: Optional[BandwidthVariabilityModel] = None,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Figure 9: the estimator-``e`` spectrum between IB (e→0) and PB (e=1)."""
     variability = variability or NLANRRatioVariability()
@@ -326,8 +349,10 @@ def experiment_fig9_estimator_sweep(
 
     surfaces: Dict[float, SweepResult] = {}
     for e_value in estimator_values:
-        factories = {"PB(e)": (lambda e=e_value: make_policy("PB", estimator_e=e))}
-        sweep = sweep_cache_sizes(workload, factories, cache_sizes, config, num_runs)
+        factories = {"PB(e)": PolicySpec("PB", estimator_e=float(e_value))}
+        sweep = sweep_cache_sizes(
+            workload, factories, cache_sizes, config, num_runs, n_jobs=n_jobs
+        )
         sweep.parameter_name = "cache_fraction"
         sweep.parameter_values = [size / total_gb for size in sweep.parameter_values]
         surfaces[float(e_value)] = sweep
@@ -350,6 +375,7 @@ def experiment_fig10_value_constant(
     num_runs: int = 3,
     cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Figure 10: IF / PB-V / IB-V under constant bandwidth (value objective)."""
     sweep = _cache_size_sweep(
@@ -359,6 +385,7 @@ def experiment_fig10_value_constant(
         num_runs,
         cache_fractions,
         seed,
+        n_jobs=n_jobs,
     )
     return ExperimentResult(
         experiment_id="fig10",
@@ -376,6 +403,7 @@ def experiment_fig11_value_variable(
     num_runs: int = 3,
     cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Figure 11: value-based caching under measured-path variability."""
     sweep = _cache_size_sweep(
@@ -385,6 +413,7 @@ def experiment_fig11_value_variable(
         num_runs,
         cache_fractions,
         seed,
+        n_jobs=n_jobs,
     )
     return ExperimentResult(
         experiment_id="fig11",
@@ -403,6 +432,7 @@ def experiment_fig12_value_estimator(
     scale: float = DEFAULT_SCALE,
     num_runs: int = 2,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Figure 12: the estimator-``e`` spectrum for value-based partial caching."""
     variability = MeasuredPathVariability("average")
@@ -413,15 +443,17 @@ def experiment_fig12_value_estimator(
 
     surfaces: Dict[float, SweepResult] = {}
     for e_value in estimator_values:
-        factories = {"PB-V(e)": (lambda e=e_value: make_policy("PB-V", estimator_e=e))}
-        sweep = sweep_cache_sizes(workload, factories, cache_sizes, config, num_runs)
+        factories = {"PB-V(e)": PolicySpec("PB-V", estimator_e=float(e_value))}
+        sweep = sweep_cache_sizes(
+            workload, factories, cache_sizes, config, num_runs, n_jobs=n_jobs
+        )
         sweep.parameter_name = "cache_fraction"
         sweep.parameter_values = [size / total_gb for size in sweep.parameter_values]
         surfaces[float(e_value)] = sweep
     # Also run the IB-V reference the paper compares against ("outperforms
     # IB-V by as much as 30%").
     reference = sweep_cache_sizes(
-        workload, _policy_factories(("IB-V",)), cache_sizes, config, num_runs
+        workload, _policy_factories(("IB-V",)), cache_sizes, config, num_runs, n_jobs=n_jobs
     )
     reference.parameter_name = "cache_fraction"
     reference.parameter_values = [size / total_gb for size in reference.parameter_values]

@@ -1,0 +1,155 @@
+"""Parallel experiment orchestration.
+
+Every data point in the paper's figures averages several independent
+simulation runs, and the sweeps multiply that by policies and cache sizes —
+an embarrassingly parallel grid of ``(seed, policy, sweep-point)`` jobs.
+This module fans those jobs out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` while keeping the results **deterministic**: each job
+carries its own fully-resolved :class:`~repro.sim.config.SimulationConfig`
+(seed included), results are re-assembled in submission order, and averages
+are computed in exactly the order the serial loops use — so ``n_jobs=4``
+produces byte-identical tables to ``n_jobs=1``.
+
+Design notes
+------------
+* The (potentially large) workload is shipped to each worker **once**, via
+  the executor's initializer, rather than being pickled into every job.
+* Jobs that share a topology (policy comparisons) rebuild it inside the
+  worker from the job's seed — bandwidth assignment is a deterministic
+  function of the seed, so every policy still faces identical network
+  conditions without any cross-process coordination.
+* Policy factories must be picklable for ``n_jobs > 1``; use
+  :class:`~repro.core.policies.registry.PolicySpec` instead of lambdas.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.simulator import ProxyCacheSimulator
+from repro.workload.gismo import Workload
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One fully-specified simulation run.
+
+    Attributes
+    ----------
+    config:
+        The run's configuration with its *final* seed and cache size — seed
+        assignment happens when the job grid is built, never inside a
+        worker, so the schedule is independent of execution order.
+    policy_factory:
+        Zero-argument callable producing a fresh policy instance.  Must be
+        picklable when the job is executed in a worker process.
+    share_topology:
+        When True the worker pre-builds the topology from a dedicated
+        generator seeded with ``config.seed`` (the protocol
+        :func:`~repro.sim.runner.compare_policies` uses so every policy sees
+        identical bandwidth assignments); when False the simulator draws the
+        topology inside :meth:`~repro.sim.simulator.ProxyCacheSimulator.run`
+        (the :func:`~repro.sim.runner.run_replications` protocol).
+    """
+
+    config: SimulationConfig
+    policy_factory: Callable[[], object]
+    share_topology: bool = True
+
+
+#: Workload installed in each worker process by the pool initializer.
+_WORKER_WORKLOAD: Optional[Workload] = None
+
+
+def _init_worker(workload: Workload) -> None:
+    global _WORKER_WORKLOAD
+    _WORKER_WORKLOAD = workload
+
+
+def _execute_job(job: SimulationJob) -> SimulationMetrics:
+    """Run one job against the worker's installed workload."""
+    workload = _WORKER_WORKLOAD
+    if workload is None:  # pragma: no cover - defensive
+        raise ConfigurationError("worker has no workload installed")
+    simulator = ProxyCacheSimulator(workload, job.config)
+    topology = None
+    if job.share_topology:
+        topology = simulator.build_topology(np.random.default_rng(job.config.seed))
+    result = simulator.run(job.policy_factory(), topology=topology)
+    return result.metrics
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` argument to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` (or ``0``) means one worker per
+    available CPU; positive values are taken as-is.
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs in (0, -1):
+        return max(os.cpu_count() or 1, 1)
+    if n_jobs < -1:
+        raise ConfigurationError(f"n_jobs must be >= -1, got {n_jobs}")
+    return n_jobs
+
+
+def run_simulation_jobs(
+    workload: Workload,
+    jobs: Sequence[SimulationJob],
+    n_jobs: Optional[int] = 1,
+) -> List[SimulationMetrics]:
+    """Execute a grid of simulation jobs, serially or on a process pool.
+
+    Results are returned in job order regardless of completion order, so
+    any downstream averaging is order-stable and the output is independent
+    of ``n_jobs``.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    workers = min(resolve_n_jobs(n_jobs), len(jobs))
+    if workers <= 1:
+        global _WORKER_WORKLOAD
+        previous = _WORKER_WORKLOAD
+        _init_worker(workload)
+        try:
+            return [_execute_job(job) for job in jobs]
+        finally:
+            _WORKER_WORKLOAD = previous
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(workload,)
+    ) as executor:
+        return list(executor.map(_execute_job, jobs))
+
+
+def replication_jobs(
+    config: SimulationConfig,
+    policy_factory: Callable[[], object],
+    num_runs: int,
+    share_topology: bool = False,
+) -> List[SimulationJob]:
+    """The deterministic seed schedule of a replication experiment.
+
+    Run ``i`` uses seed ``config.seed + i`` — the same assignment the serial
+    loops use, so parallel execution replays the identical experiment.
+    """
+    if num_runs <= 0:
+        raise ConfigurationError(f"num_runs must be positive, got {num_runs}")
+    return [
+        SimulationJob(
+            config=config.with_seed(config.seed + run_index),
+            policy_factory=policy_factory,
+            share_topology=share_topology,
+        )
+        for run_index in range(num_runs)
+    ]

@@ -75,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="workload scale (simulation experiments only)")
     experiment.add_argument("--runs", type=int, default=None,
                             help="number of runs to average (simulation experiments only)")
+    experiment.add_argument("--jobs", "-j", type=int, default=1,
+                            help="worker processes for the simulation runs "
+                                 "(-1 = one per CPU; simulation experiments only)")
     experiment.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -107,6 +110,8 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["scale"] = args.scale
         if args.runs is not None:
             kwargs["num_runs"] = args.runs
+        if args.jobs != 1:
+            kwargs["n_jobs"] = args.jobs
     elif args.name == "tab1" and args.scale is not None:
         kwargs["scale"] = args.scale
     result = entry_point(**kwargs)

@@ -55,10 +55,15 @@ class FrequencyTracker:
 
     def record(self, object_id: int, now: float = 0.0) -> float:
         """Record one request and return the updated frequency."""
+        self._total_requests += 1
+        if self.decay_half_life is None:
+            # Hot path: plain cumulative counts need no decay bookkeeping.
+            updated = self._counts.get(object_id, 0.0) + 1.0
+            self._counts[object_id] = updated
+            return updated
         updated = self._decayed(object_id, now) + 1.0
         self._counts[object_id] = updated
         self._last_update[object_id] = now
-        self._total_requests += 1
         return updated
 
     def frequency(self, object_id: int, now: float = 0.0) -> float:

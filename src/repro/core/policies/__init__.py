@@ -33,7 +33,7 @@ from repro.core.policies.optimal import (
     optimal_allocation,
     optimal_average_delay,
 )
-from repro.core.policies.registry import POLICY_REGISTRY, make_policy
+from repro.core.policies.registry import POLICY_REGISTRY, PolicySpec, make_policy
 from repro.core.policies.value_based import (
     HybridPartialBandwidthValuePolicy,
     IntegralBandwidthValuePolicy,
@@ -54,6 +54,7 @@ __all__ = [
     "PartialBandwidthPolicy",
     "PartialBandwidthValuePolicy",
     "PolicyContext",
+    "PolicySpec",
     "PopularityAwareGreedyDualSizePolicy",
     "StaticAllocationPolicy",
     "make_policy",

@@ -53,7 +53,8 @@ class HybridPartialBandwidthPolicy(CachePolicy):
 
     def effective_bandwidth(self, ctx: PolicyContext) -> float:
         """The deliberately conservative bandwidth estimate ``e * b``."""
-        return max(ctx.bandwidth * self.estimator_e, 1e-9)
+        effective = ctx.bandwidth * self.estimator_e
+        return effective if effective > 1e-9 else 1e-9
 
     def utility(self, obj: MediaObject, ctx: PolicyContext) -> float:
         return ctx.frequency / self.effective_bandwidth(ctx)

@@ -37,9 +37,12 @@ from repro.workload.catalog import MediaObject
 _EPSILON_KB = 1e-6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PolicyContext:
     """Per-request information a policy's utility/target functions may use.
+
+    Frozen (hashable) as before; ``__slots__`` keeps the one-per-request
+    construction cheap.
 
     Attributes
     ----------
@@ -74,11 +77,22 @@ class CachePolicy(ABC):
     #: Whether the policy may cache and evict fractions of objects.
     allows_partial: bool = False
 
+    #: Extra heap entries tolerated before a compaction pays off; keeps tiny
+    #: caches from compacting on every request.
+    _COMPACTION_SLACK: int = 64
+
     def __init__(self, frequency_tracker: Optional[FrequencyTracker] = None):
         self.frequencies = frequency_tracker or FrequencyTracker()
         self._utilities: Dict[int, float] = {}
         self._heap: List[Tuple[float, int, int]] = []
         self._heap_counter = itertools.count()
+        #: Sequence number of each object's *live* heap entry.  A heap entry
+        #: ``(utility, seq, object_id)`` is valid iff ``_entry_seq[object_id]
+        #: == seq``; every re-push bumps the sequence, so staleness detection
+        #: is an exact integer comparison rather than a float-tolerance test.
+        self._entry_seq: Dict[int, int] = {}
+        self._heap_peak = 0
+        self._compactions = 0
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -105,45 +119,100 @@ class CachePolicy(ABC):
     # Heap maintenance.
     # ------------------------------------------------------------------
     def _set_utility(self, object_id: int, utility: float) -> None:
+        seq = next(self._heap_counter)
         self._utilities[object_id] = utility
-        heapq.heappush(self._heap, (utility, next(self._heap_counter), object_id))
+        self._entry_seq[object_id] = seq
+        heap = self._heap
+        heapq.heappush(heap, (utility, seq, object_id))
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
+        if len(heap) > 2 * len(self._entry_seq) + self._COMPACTION_SLACK:
+            self._compact_heap()
 
     def _drop_utility(self, object_id: int) -> None:
         self._utilities.pop(object_id, None)
+        self._entry_seq.pop(object_id, None)
+
+    def _compact_heap(self) -> None:
+        """Rebuild the heap from the live entries only.
+
+        Re-keying an object leaves its previous heap entry behind as garbage;
+        once stale entries outnumber live ones (~50% of the heap) a rebuild
+        amortises to O(1) per request and bounds the heap at twice the number
+        of tracked objects.  Live entries keep their original sequence
+        numbers, so the pop order — and therefore every eviction decision —
+        is exactly what the un-compacted heap would have produced.
+        """
+        utilities = self._utilities
+        self._heap = [
+            (utilities[object_id], seq, object_id)
+            for object_id, seq in self._entry_seq.items()
+        ]
+        heapq.heapify(self._heap)
+        self._compactions += 1
 
     def _pop_lowest(
-        self, store: CacheStore, exclude: int
+        self,
+        store: CacheStore,
+        exclude: int = -1,
+        held_out: Optional[List[Tuple[float, int]]] = None,
     ) -> Optional[Tuple[int, float]]:
         """Pop the valid lowest-utility cached object (excluding ``exclude``).
 
-        Lazily discards stale heap entries (objects no longer cached or whose
-        utility has since changed).  Returns ``None`` when no candidate
+        Lazily discards stale heap entries (superseded sequence numbers or
+        objects no longer cached).  Returns ``None`` when no candidate
         remains.  The returned object is *not* yet evicted; the caller either
         commits the eviction or pushes the entry back via :meth:`_restore`.
+
+        When the *live* entry of ``exclude`` is reached it is popped once
+        into ``held_out`` as ``(utility, seq)`` — still referenced by
+        ``_entry_seq``, just physically out of the heap — so the caller can
+        reinstate it verbatim with :meth:`_reinstate_held`.  The sequence
+        check guarantees this happens at most once per eviction loop.
+        Without ``held_out`` the held entry is reinstated before returning,
+        so a standalone call leaves the heap intact.
         """
-        held: List[Tuple[float, int]] = []
+        heap = self._heap
+        entry_seq = self._entry_seq
+        reinstate = held_out is None
+        held: List[Tuple[float, int]] = [] if reinstate else held_out
         result: Optional[Tuple[int, float]] = None
-        while self._heap:
-            utility, _, object_id = heapq.heappop(self._heap)
-            current = self._utilities.get(object_id)
-            if current is None or object_id not in store:
-                continue
-            if abs(current - utility) > 1e-12:
+        while heap:
+            utility, seq, object_id = heapq.heappop(heap)
+            if entry_seq.get(object_id) != seq:
                 continue
             if object_id == exclude:
-                # Hold the requester's own entry aside; restored below so it
-                # is never considered a victim and never re-popped this call.
-                held.append((utility, object_id))
+                held.append((utility, seq))
+                continue
+            if object_id not in store:
+                # Defensive: tracked but no longer cached.  Consume the live
+                # entry so a later compaction cannot resurrect it.
+                entry_seq.pop(object_id, None)
                 continue
             result = (object_id, utility)
             break
-        for utility, object_id in held:
-            self._restore(object_id, utility)
+        if reinstate and held:
+            self._reinstate_held(exclude, held)
         return result
+
+    def _reinstate_held(self, object_id: int, held: List[Tuple[float, int]]) -> None:
+        """Push a held-aside live entry back exactly as it was.
+
+        The entry keeps its original sequence number (``_entry_seq`` never
+        stopped referencing it), so heap order is exactly as if it had never
+        been held.
+        """
+        for utility, seq in held:
+            heapq.heappush(self._heap, (utility, seq, object_id))
+        held.clear()
 
     def _restore(self, object_id: int, utility: float) -> None:
         """Push a popped-but-not-evicted candidate back onto the heap."""
-        heapq.heappush(self._heap, (utility, next(self._heap_counter), object_id))
+        seq = next(self._heap_counter)
+        self._entry_seq[object_id] = seq
+        heapq.heappush(self._heap, (utility, seq, object_id))
+        if len(self._heap) > self._heap_peak:
+            self._heap_peak = len(self._heap)
 
     # ------------------------------------------------------------------
     # The replacement engine.
@@ -160,21 +229,28 @@ class CachePolicy(ABC):
         Returns the :class:`PolicyContext` built for the request so callers
         (and tests) can inspect the frequency and bandwidth the decision used.
         """
-        frequency = self.frequencies.record(obj.object_id, now)
-        ctx = PolicyContext(now=now, bandwidth=float(bandwidth), frequency=frequency)
-        store.touch(obj.object_id, now)
-
-        target = min(self.target_cache_bytes(obj, ctx), obj.size)
-        utility = self.utility(obj, ctx)
         object_id = obj.object_id
-        current = store.cached_bytes(object_id)
+        frequency = self.frequencies.record(object_id, now)
+        ctx = PolicyContext(now=now, bandwidth=float(bandwidth), frequency=frequency)
+        current = store.touch_and_bytes(object_id, now)
+
+        target = self.target_cache_bytes(obj, ctx)
+        size = obj.size
+        if target > size:
+            target = size
 
         if current > 0:
             # Refresh the requester's key: its frequency just increased.
+            utility = self.utility(obj, ctx)
             self._set_utility(object_id, utility)
-
-        if target <= current + _EPSILON_KB:
-            return ctx
+            if target <= current + _EPSILON_KB:
+                return ctx
+        else:
+            if target <= _EPSILON_KB:
+                # Nothing cached and nothing wanted: the (possibly costly)
+                # utility function need not run at all.
+                return ctx
+            utility = self.utility(obj, ctx)
 
         needed = target - current
         if needed <= store.free_kb + _EPSILON_KB:
@@ -204,20 +280,20 @@ class CachePolicy(ABC):
         needed = target - current
         shortfall = needed - store.free_kb
 
+        # The requester's own live heap entry is held aside at most *once*
+        # for the whole eviction loop (see _pop_lowest), instead of being
+        # popped and re-pushed on every iteration.
+        held: List[Tuple[float, int]] = []
+
         planned: List[Tuple[int, float, float]] = []  # (victim_id, utility, bytes)
-        planned_ids = set()
         reclaimed = 0.0
         blocked_candidate: Optional[Tuple[int, float]] = None
 
         while shortfall - reclaimed > _EPSILON_KB:
-            candidate = self._pop_lowest(store, exclude=object_id)
+            candidate = self._pop_lowest(store, exclude=object_id, held_out=held)
             if candidate is None:
                 break
             victim_id, victim_utility = candidate
-            if victim_id in planned_ids:
-                # A duplicate heap entry for an already-planned victim; the
-                # copy kept in ``planned`` is authoritative, drop this one.
-                continue
             if victim_utility >= utility:
                 blocked_candidate = candidate
                 break
@@ -225,7 +301,6 @@ class CachePolicy(ABC):
             if victim_bytes <= 0:
                 continue
             planned.append((victim_id, victim_utility, victim_bytes))
-            planned_ids.add(victim_id)
             reclaimed += victim_bytes
 
         fully_satisfied = reclaimed + _EPSILON_KB >= shortfall
@@ -236,6 +311,7 @@ class CachePolicy(ABC):
                 self._restore(victim_id, victim_utility)
             if blocked_candidate is not None:
                 self._restore(*blocked_candidate)
+            self._reinstate_held(object_id, held)
             return
 
         if blocked_candidate is not None:
@@ -263,6 +339,7 @@ class CachePolicy(ABC):
 
         grow_to = target if fully_satisfied else current + store.free_kb
         if grow_to <= current + _EPSILON_KB:
+            self._reinstate_held(object_id, held)
             return
         if grow_to - current > store.free_kb + _EPSILON_KB:
             raise PolicyError(
@@ -279,9 +356,28 @@ class CachePolicy(ABC):
         """Current utility key of a cached object (None if not tracked)."""
         return self._utilities.get(object_id)
 
+    def heap_statistics(self) -> Dict[str, int]:
+        """Size, staleness, and compaction counters of the priority heap.
+
+        Used by the throughput benchmark (peak heap size) and by tests that
+        assert the compaction invariants.
+        """
+        live = len(self._entry_seq)
+        return {
+            "size": len(self._heap),
+            "live_entries": live,
+            "stale_entries": len(self._heap) - live,
+            "peak_size": self._heap_peak,
+            "compactions": self._compactions,
+            "tracked_objects": len(self._utilities),
+        }
+
     def reset(self) -> None:
         """Forget all frequency and heap state (the store is left alone)."""
         self.frequencies.reset()
         self._utilities.clear()
         self._heap.clear()
+        self._entry_seq.clear()
         self._heap_counter = itertools.count()
+        self._heap_peak = 0
+        self._compactions = 0

@@ -8,7 +8,8 @@ parameter through :func:`make_policy`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.core.policies.base import CachePolicy
 from repro.core.policies.bandwidth import (
@@ -72,3 +73,21 @@ def make_policy(name: str, estimator_e: float = None) -> CachePolicy:
             f"unknown policy {name!r}; known policies: {sorted(POLICY_REGISTRY)}"
         ) from None
     return constructor()
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A picklable zero-argument policy factory.
+
+    Experiment helpers historically used lambdas as policy factories, which
+    cannot cross a process boundary.  A :class:`PolicySpec` carries the same
+    information — registry name plus optional ``estimator_e`` — as plain
+    data, so parallel experiment orchestration
+    (:mod:`repro.analysis.parallel`) can ship factories to worker processes.
+    """
+
+    name: str
+    estimator_e: Optional[float] = None
+
+    def __call__(self) -> CachePolicy:
+        return make_policy(self.name, estimator_e=self.estimator_e)

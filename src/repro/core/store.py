@@ -16,9 +16,13 @@ from typing import Dict, Iterator, List, Tuple
 from repro.exceptions import CapacityError, ConfigurationError
 
 
-@dataclass
+@dataclass(slots=True)
 class CachedObjectState:
-    """Book-keeping for one (partially) cached object."""
+    """Book-keeping for one (partially) cached object.
+
+    ``__slots__`` matters here: one instance exists per cached object and
+    the replacement loop reads/writes them on every request.
+    """
 
     object_id: int
     cached_bytes: float
@@ -61,7 +65,8 @@ class CacheStore:
     @property
     def free_kb(self) -> float:
         """Remaining capacity in KB (never negative)."""
-        return max(self.capacity_kb - self._used, 0.0)
+        free = self.capacity_kb - self._used
+        return free if free > 0.0 else 0.0
 
     @property
     def occupancy(self) -> float:
@@ -88,6 +93,19 @@ class CacheStore:
         entry = self._entries.get(object_id)
         if entry is not None:
             entry.last_access_time = now
+
+    def touch_and_bytes(self, object_id: int, now: float) -> float:
+        """Record an access and return the cached prefix KB, in one lookup.
+
+        Equivalent to :meth:`touch` followed by :meth:`cached_bytes`; the
+        replacement engine calls this once per request, so the single dict
+        probe matters.
+        """
+        entry = self._entries.get(object_id)
+        if entry is None:
+            return 0.0
+        entry.last_access_time = now
+        return entry.cached_bytes
 
     def set_cached_bytes(self, object_id: int, target_bytes: float, now: float = 0.0) -> None:
         """Set the cached prefix of an object to exactly ``target_bytes`` KB.

@@ -33,6 +33,16 @@ from repro.exceptions import ConfigurationError
 class BandwidthVariabilityModel:
     """Interface for sample-to-mean bandwidth ratio models."""
 
+    #: Whether one batched ``sample_ratio(rng, size=n)`` call consumes the
+    #: generator identically to ``n`` consecutive ``size=1`` calls.  True for
+    #: every model in this module (they draw with vectorised numpy samplers,
+    #: whose stream consumption is element-sequential).  The simulator's
+    #: fast replay path pre-draws all per-request ratios in one batch when
+    #: this holds; subclasses whose batched draws consume the generator
+    #: differently must set it to False to keep replay results identical to
+    #: the per-request event path.
+    iid_batch_equivalent: bool = True
+
     def sample_ratio(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
         """Draw ``size`` i.i.d. sample-to-mean ratios (mean ~ 1)."""
         raise NotImplementedError

@@ -19,13 +19,15 @@ from typing import Any, Callable, Optional
 from repro.exceptions import SimulationError
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled event.
 
     Events order by ``(time, priority, sequence)``: ties in time are broken
     by explicit priority (lower runs first) and then by scheduling order, so
-    simulations are fully deterministic.
+    simulations are fully deterministic.  ``__slots__`` keeps the per-event
+    footprint small: a trace replay allocates one of these per request on
+    the event-calendar path.
     """
 
     time: float
@@ -81,6 +83,12 @@ class EventQueue:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Cancel every outstanding event and empty the queue in place."""
+        for event in self._heap:
+            event.cancelled = True
+        self._heap.clear()
 
 
 class SimulationEngine:
@@ -166,10 +174,7 @@ class SimulationEngine:
         """Request the run loop to stop by draining the queue.
 
         Handlers call this to terminate a simulation early; all outstanding
-        events are cancelled.
+        events are cancelled (so holders of an :class:`Event` reference can
+        observe the cancellation) and the queue is emptied in one O(n) pass.
         """
-        while True:
-            event = self.queue.pop()
-            if event is None:
-                break
-            event.cancel()
+        self.queue.clear()

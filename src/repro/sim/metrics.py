@@ -133,6 +133,45 @@ class MetricsCollector:
         """Number of requests processed during warm-up."""
         return self._warmup_requests
 
+    def absorb(
+        self,
+        *,
+        requests: int = 0,
+        bytes_from_cache: float = 0.0,
+        bytes_from_server: float = 0.0,
+        delay_sum: float = 0.0,
+        quality_sum: float = 0.0,
+        value_sum: float = 0.0,
+        hits: int = 0,
+        immediate: int = 0,
+        delayed: int = 0,
+        delay_sum_delayed: float = 0.0,
+        warmup_requests: int = 0,
+        per_object_hits: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Merge pre-accumulated totals into the collector.
+
+        The simulator's fast replay path accumulates per-request quantities
+        in local variables (in exactly the order :meth:`record` would have
+        added them, so floating-point sums are bit-identical) and merges
+        them here once per run instead of paying a method call per request.
+        """
+        self._requests += requests
+        self._bytes_from_cache += bytes_from_cache
+        self._bytes_from_server += bytes_from_server
+        self._delay_sum += delay_sum
+        self._quality_sum += quality_sum
+        self._value_sum += value_sum
+        self._hits += hits
+        self._immediate += immediate
+        self._delayed += delayed
+        self._delay_sum_delayed += delay_sum_delayed
+        self._warmup_requests += warmup_requests
+        if per_object_hits:
+            existing = self._per_object_hits
+            for object_id, count in per_object_hits.items():
+                existing[object_id] = existing.get(object_id, 0) + count
+
     def finalize(self) -> SimulationMetrics:
         """Produce the aggregate metrics for the measurement phase."""
         requests = self._requests

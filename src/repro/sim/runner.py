@@ -9,6 +9,13 @@ runs.  The helpers in this module organise that protocol:
   attributable to the policies rather than to the draw of the network,
 * :func:`sweep_cache_sizes` — the cache-size sweeps on the x-axis of
   Figures 5, 7, 8, 10, and 11.
+
+All three accept ``n_jobs``: with ``n_jobs > 1`` the independent
+``(seed, policy, sweep-point)`` runs fan out over a process pool
+(:mod:`repro.analysis.parallel`) with a deterministic seed schedule and
+order-stable averaging, so the results are byte-identical to the serial
+ones.  Policy factories must then be picklable — use
+:class:`~repro.core.policies.registry.PolicySpec` rather than lambdas.
 """
 
 from __future__ import annotations
@@ -84,10 +91,18 @@ def run_replications(
     policy_factory: PolicyFactory,
     config: SimulationConfig,
     num_runs: int = 10,
+    n_jobs: int = 1,
 ) -> SimulationMetrics:
     """Run one policy ``num_runs`` times with different seeds and average."""
     if num_runs <= 0:
         raise ConfigurationError(f"num_runs must be positive, got {num_runs}")
+    if n_jobs is not None and n_jobs != 1:
+        # Imported lazily: repro.analysis imports this module at package
+        # initialisation, so a top-level import would be circular.
+        from repro.analysis.parallel import replication_jobs, run_simulation_jobs
+
+        jobs = replication_jobs(config, policy_factory, num_runs, share_topology=False)
+        return SimulationMetrics.average(run_simulation_jobs(workload, jobs, n_jobs))
     results: List[SimulationMetrics] = []
     for run_index in range(num_runs):
         run_config = config.with_seed(config.seed + run_index)
@@ -102,13 +117,16 @@ def compare_policies(
     policy_factories: Mapping[str, PolicyFactory],
     config: SimulationConfig,
     num_runs: int = 3,
+    n_jobs: int = 1,
 ) -> PolicyComparison:
     """Run several policies over the same seeds and network assignments.
 
     For each seed the topology (per-server base bandwidths) is drawn once
     and shared by all policies, so every policy faces exactly the same
     network conditions; the per-request variability draws are also identical
-    because each run re-seeds its generator with the same value.
+    because each run re-seeds its generator with the same value.  With
+    ``n_jobs > 1`` each worker rebuilds the topology deterministically from
+    the job's seed, preserving that protocol exactly.
     """
     if not policy_factories:
         raise ConfigurationError("policy_factories must be non-empty")
@@ -118,13 +136,32 @@ def compare_policies(
     per_policy: Dict[str, List[SimulationMetrics]] = {
         name: [] for name in policy_factories
     }
-    for run_index in range(num_runs):
-        run_config = config.with_seed(config.seed + run_index)
-        simulator = ProxyCacheSimulator(workload, run_config)
-        topology = simulator.build_topology(np.random.default_rng(run_config.seed))
-        for name, factory in policy_factories.items():
-            result = simulator.run(factory(), topology=topology)
-            per_policy[name].append(result.metrics)
+    if n_jobs is not None and n_jobs != 1:
+        from repro.analysis.parallel import SimulationJob, run_simulation_jobs
+
+        jobs = []
+        order: List[str] = []
+        for run_index in range(num_runs):
+            run_config = config.with_seed(config.seed + run_index)
+            for name, factory in policy_factories.items():
+                jobs.append(
+                    SimulationJob(
+                        config=run_config,
+                        policy_factory=factory,
+                        share_topology=True,
+                    )
+                )
+                order.append(name)
+        for name, metrics in zip(order, run_simulation_jobs(workload, jobs, n_jobs)):
+            per_policy[name].append(metrics)
+    else:
+        for run_index in range(num_runs):
+            run_config = config.with_seed(config.seed + run_index)
+            simulator = ProxyCacheSimulator(workload, run_config)
+            topology = simulator.build_topology(np.random.default_rng(run_config.seed))
+            for name, factory in policy_factories.items():
+                result = simulator.run(factory(), topology=topology)
+                per_policy[name].append(result.metrics)
 
     comparison = PolicyComparison()
     for name, metrics_list in per_policy.items():
@@ -138,8 +175,14 @@ def sweep_cache_sizes(
     cache_sizes_gb: Sequence[float],
     config: Optional[SimulationConfig] = None,
     num_runs: int = 3,
+    n_jobs: int = 1,
 ) -> SweepResult:
-    """Sweep the cache size, comparing all policies at each point."""
+    """Sweep the cache size, comparing all policies at each point.
+
+    With ``n_jobs > 1`` the *entire* ``(cache size, seed, policy)`` grid is
+    flattened into one job list before fan-out, so parallelism is not capped
+    by the number of runs at a single sweep point.
+    """
     if not cache_sizes_gb:
         raise ConfigurationError("cache_sizes_gb must be non-empty")
     config = config or SimulationConfig()
@@ -148,6 +191,39 @@ def sweep_cache_sizes(
         parameter_values=[float(size) for size in cache_sizes_gb],
         metrics={name: [] for name in policy_factories},
     )
+    if n_jobs is not None and n_jobs != 1:
+        if not policy_factories:
+            raise ConfigurationError("policy_factories must be non-empty")
+        if num_runs <= 0:
+            raise ConfigurationError(f"num_runs must be positive, got {num_runs}")
+        from repro.analysis.parallel import SimulationJob, run_simulation_jobs
+
+        jobs = []
+        for cache_size in cache_sizes_gb:
+            point_config = config.with_cache_size(cache_size)
+            for run_index in range(num_runs):
+                run_config = point_config.with_seed(point_config.seed + run_index)
+                for factory in policy_factories.values():
+                    jobs.append(
+                        SimulationJob(
+                            config=run_config,
+                            policy_factory=factory,
+                            share_topology=True,
+                        )
+                    )
+        results = iter(run_simulation_jobs(workload, jobs, n_jobs))
+        for _ in cache_sizes_gb:
+            per_policy: Dict[str, List[SimulationMetrics]] = {
+                name: [] for name in policy_factories
+            }
+            for _ in range(num_runs):
+                for name in policy_factories:
+                    per_policy[name].append(next(results))
+            for name in policy_factories:
+                sweep.metrics[name].append(
+                    SimulationMetrics.average(per_policy[name])
+                )
+        return sweep
     for cache_size in cache_sizes_gb:
         point_config = config.with_cache_size(cache_size)
         comparison = compare_policies(workload, policy_factories, point_config, num_runs)

@@ -162,20 +162,26 @@ class GismoWorkloadGenerator:
         """Generate only the object catalog."""
         rng = rng or np.random.default_rng(self.config.seed)
         cfg = self.config
-        durations = self.durations.sample(cfg.num_objects, rng)
-        bitrates = self.bitrates.sample(cfg.num_objects, rng)
-        servers = rng.integers(0, cfg.num_servers, size=cfg.num_objects)
-        values = rng.uniform(cfg.value_min, cfg.value_max, size=cfg.num_objects)
+        # All four per-object attribute draws are single numpy batches; the
+        # arrays are converted to native scalars once (``tolist``) instead of
+        # boxing a numpy scalar per object.
+        durations = np.asarray(self.durations.sample(cfg.num_objects, rng)).tolist()
+        bitrates = np.asarray(self.bitrates.sample(cfg.num_objects, rng)).tolist()
+        servers = rng.integers(0, cfg.num_servers, size=cfg.num_objects).tolist()
+        values = rng.uniform(cfg.value_min, cfg.value_max, size=cfg.num_objects).tolist()
+        layers = cfg.layers
         objects = [
             MediaObject(
                 object_id=i,
-                duration=float(durations[i]),
-                bitrate=float(bitrates[i]),
-                server_id=int(servers[i]),
-                value=float(values[i]),
-                layers=cfg.layers,
+                duration=duration,
+                bitrate=bitrate,
+                server_id=server_id,
+                value=value,
+                layers=layers,
             )
-            for i in range(cfg.num_objects)
+            for i, (duration, bitrate, server_id, value) in enumerate(
+                zip(durations, bitrates, servers, values)
+            )
         ]
         return Catalog(objects)
 

@@ -164,16 +164,38 @@ class RequestTrace:
             raise ConfigurationError(
                 f"times ({len(times)}) and object_ids ({len(object_ids)}) differ in length"
             )
-        if client_ids and len(client_ids) != len(times):
+        has_clients = len(client_ids) > 0
+        if has_clients and len(client_ids) != len(times):
             raise ConfigurationError(
                 f"client_ids ({len(client_ids)}) must match times ({len(times)})"
             )
-        requests = [
-            Request(
-                time=float(times[i]),
-                object_id=int(object_ids[i]),
-                client_id=int(client_ids[i]) if client_ids else 0,
-            )
-            for i in range(len(times))
-        ]
+        # Convert whole arrays to native Python scalars up front: one batch
+        # ``tolist`` per column is far cheaper than boxing a numpy scalar per
+        # request on million-request traces.
+        times_list = _as_scalar_list(times, float)
+        ids_list = _as_scalar_list(object_ids, int)
+        if has_clients:
+            clients_list = _as_scalar_list(client_ids, int)
+            requests = [
+                Request(time=t, object_id=o, client_id=c)
+                for t, o, c in zip(times_list, ids_list, clients_list)
+            ]
+        else:
+            requests = [
+                Request(time=t, object_id=o) for t, o in zip(times_list, ids_list)
+            ]
         return cls(requests)
+
+
+def _as_scalar_list(values: Sequence, scalar_type: type) -> list:
+    """Return ``values`` as a list of native ``scalar_type`` elements.
+
+    ``ndarray.tolist`` already yields native scalars, so the per-element
+    cast runs only when the batch conversion produced the wrong type (e.g.
+    integer arrival times) or no ``tolist`` exists.
+    """
+    tolist = getattr(values, "tolist", None)
+    converted = tolist() if tolist is not None else list(values)
+    if converted and type(converted[0]) is scalar_type:
+        return converted
+    return [scalar_type(value) for value in converted]
