@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-full bench-figures
+.PHONY: test bench-smoke bench-full bench-figures ingest-demo
 
 ## Tier-1 verification: the full test + benchmark suite.
 test:
@@ -21,3 +21,9 @@ bench-full:
 ## The paper-figure benchmarks (pytest-benchmark timings, printed tables).
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## Ingest the bundled sample access logs through the CLI: summary + a
+## policy comparison on the Squid log, summary only for the CLF log.
+ingest-demo:
+	$(PYTHON) -m repro ingest examples/data/sample_squid.log --compare --policies PB,IB,LRU --runs 1
+	$(PYTHON) -m repro ingest examples/data/sample_clf.log

@@ -5,7 +5,7 @@ paper's observation: intensifying temporal locality (larger alpha) improves
 both policies, and the relative ordering between them does not change.
 """
 
-from benchmarks.conftest import BENCH_RUNS, BENCH_SCALE, report, run_once
+from benchmarks.conftest import BENCH_JOBS, BENCH_RUNS, BENCH_SCALE, report, run_once
 from repro.analysis.experiments import experiment_fig6_zipf_sweep
 
 ALPHAS = (0.6, 0.9, 1.2)
@@ -21,6 +21,7 @@ def test_fig6_zipf_parameter_sweep(benchmark):
         scale=BENCH_SCALE,
         num_runs=BENCH_RUNS,
         seed=0,
+        n_jobs=BENCH_JOBS,
     )
     surfaces = result.data["sweeps_by_alpha"]
     extra = {}

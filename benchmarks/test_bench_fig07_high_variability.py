@@ -9,6 +9,7 @@ no worse than PB).
 
 from benchmarks.conftest import (
     BENCH_CACHE_FRACTIONS,
+    BENCH_JOBS,
     BENCH_RUNS,
     BENCH_SCALE,
     report,
@@ -29,6 +30,7 @@ def test_fig7_high_variability(benchmark):
         num_runs=BENCH_RUNS,
         cache_fractions=BENCH_CACHE_FRACTIONS,
         seed=0,
+        n_jobs=BENCH_JOBS,
     )
     sweep = result.data["sweep"]
     extra = {}
@@ -42,6 +44,7 @@ def test_fig7_high_variability(benchmark):
         num_runs=BENCH_RUNS,
         cache_fractions=BENCH_CACHE_FRACTIONS,
         seed=0,
+        n_jobs=BENCH_JOBS,
     ).data["sweep"]
 
     for policy in sweep.policies():

@@ -8,6 +8,7 @@ reducing service delay and improving stream quality.
 
 from benchmarks.conftest import (
     BENCH_CACHE_FRACTIONS,
+    BENCH_JOBS,
     BENCH_RUNS,
     BENCH_SCALE,
     report,
@@ -25,6 +26,7 @@ def test_fig8_low_variability(benchmark):
         num_runs=BENCH_RUNS,
         cache_fractions=BENCH_CACHE_FRACTIONS,
         seed=0,
+        n_jobs=BENCH_JOBS,
     )
     sweep = result.data["sweep"]
     extra = {}

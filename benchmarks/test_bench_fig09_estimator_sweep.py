@@ -7,7 +7,7 @@ smaller ``e`` always reduces more backbone traffic, while a moderate
 extreme.
 """
 
-from benchmarks.conftest import BENCH_RUNS, BENCH_SCALE, report, run_once
+from benchmarks.conftest import BENCH_JOBS, BENCH_RUNS, BENCH_SCALE, report, run_once
 from repro.analysis.experiments import experiment_fig9_estimator_sweep
 
 ESTIMATOR_VALUES = (0.2, 0.5, 1.0)
@@ -23,6 +23,7 @@ def test_fig9_estimator_sweep(benchmark):
         scale=BENCH_SCALE,
         num_runs=BENCH_RUNS,
         seed=0,
+        n_jobs=BENCH_JOBS,
     )
     surfaces = result.data["sweeps_by_e"]
     extra = {}

@@ -6,7 +6,7 @@ moderate ``e`` (around 0.5) yields the highest total added value,
 outperforming IB-V (by up to 30% in the paper's setting).
 """
 
-from benchmarks.conftest import BENCH_RUNS, BENCH_SCALE, report, run_once
+from benchmarks.conftest import BENCH_JOBS, BENCH_RUNS, BENCH_SCALE, report, run_once
 from repro.analysis.experiments import experiment_fig12_value_estimator
 
 ESTIMATOR_VALUES = (0.2, 0.5, 1.0)
@@ -22,6 +22,7 @@ def test_fig12_value_estimator_sweep(benchmark):
         scale=BENCH_SCALE,
         num_runs=BENCH_RUNS,
         seed=0,
+        n_jobs=BENCH_JOBS,
     )
     surfaces = result.data["sweeps_by_e"]
     reference = result.data["ibv_reference"]

@@ -69,6 +69,7 @@ from repro.sim import (
     run_replications,
     sweep_cache_sizes,
 )
+from repro.trace import ColumnarTrace, ingest_access_log
 from repro.workload import (
     Catalog,
     GismoWorkloadGenerator,
@@ -88,6 +89,7 @@ __all__ = [
     "CacheStore",
     "CapacityError",
     "Catalog",
+    "ColumnarTrace",
     "ConfigurationError",
     "ConstantVariability",
     "DeliveryTopology",
@@ -123,6 +125,7 @@ __all__ = [
     "ZipfPopularity",
     "__version__",
     "compare_policies",
+    "ingest_access_log",
     "make_policy",
     "optimal_allocation",
     "run_replications",

@@ -1,11 +1,15 @@
 """Command-line front-end: ``repro-sim`` / ``python -m repro``.
 
-Two sub-commands cover the common uses:
+Three sub-commands cover the common uses:
 
 * ``repro-sim run`` — run one policy on a Table 1-style workload and print
   the headline metrics,
 * ``repro-sim experiment`` — regenerate one of the paper's figures
-  (``fig2`` … ``fig12`` or ``tab1``) and print its series.
+  (``fig2`` … ``fig12`` or ``tab1``) and print its series,
+* ``repro-sim ingest`` — parse a real proxy access log (Squid native or
+  Common/Combined Log Format) into a columnar trace, print a
+  catalog-sizing summary, optionally archive the trace as ``.npz`` and run
+  a policy comparison on the ingested workload.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis import experiments as exp
 from repro.analysis.report import render_experiment
-from repro.core.policies import make_policy
+from repro.core.policies import PolicySpec, make_policy
 from repro.network.variability import (
     ConstantVariability,
     MeasuredPathVariability,
@@ -79,6 +83,32 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes for the simulation runs "
                                  "(-1 = one per CPU; simulation experiments only)")
     experiment.add_argument("--seed", type=int, default=0)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="turn a proxy access log into a columnar request trace"
+    )
+    ingest.add_argument("logfile", help="Squid native or Common/Combined Log Format file")
+    ingest.add_argument("--format", choices=("auto", "squid", "clf"), default="auto",
+                        help="log format (default: probe the first lines)")
+    ingest.add_argument("--methods", default="GET",
+                        help="comma-separated HTTP methods to keep ('*' keeps all)")
+    ingest.add_argument("--max-status", type=int, default=399,
+                        help="highest HTTP status code to keep")
+    ingest.add_argument("--bitrate", type=float, default=None,
+                        help="CBR bitrate (KB/s) used to derive object durations")
+    ingest.add_argument("--out", default=None,
+                        help="write the ingested trace to this .npz file")
+    ingest.add_argument("--compare", action="store_true",
+                        help="run compare_policies on the ingested workload")
+    ingest.add_argument("--policies", default="PB,IB,LRU",
+                        help="comma-separated policies for --compare")
+    ingest.add_argument("--cache-gb", type=float, default=None,
+                        help="cache size for --compare (default: 10%% of unique bytes)")
+    ingest.add_argument("--runs", type=int, default=1,
+                        help="runs to average for --compare")
+    ingest.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for --compare (-1 = one per CPU)")
+    ingest.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -119,6 +149,63 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    from repro.trace.ingest import ingest_access_log
+    from repro.units import DEFAULT_BITRATE_KBPS
+
+    methods = None
+    if args.methods and args.methods.strip() != "*":
+        methods = tuple(m.strip().upper() for m in args.methods.split(",") if m.strip())
+    bitrate = args.bitrate if args.bitrate is not None else DEFAULT_BITRATE_KBPS
+    result = ingest_access_log(
+        args.logfile,
+        log_format=args.format,
+        methods=methods,
+        status_range=(100, args.max_status),
+    )
+    for key, value in result.summary.as_dict().items():
+        if isinstance(value, float):
+            print(f"{key}: {value:.6g}")
+        else:
+            print(f"{key}: {value}")
+
+    if args.out:
+        result.trace.to_npz(args.out)
+        print(f"trace written: {args.out} ({len(result.trace)} requests)")
+
+    if args.compare:
+        if not len(result.trace):
+            print("nothing to simulate: the filtered trace is empty")
+            return 1
+        workload = result.to_workload(bitrate=bitrate)
+        cache_gb = args.cache_gb
+        if cache_gb is None:
+            cache_gb = max(0.1 * workload.catalog.total_size_gb, 1e-6)
+        config = SimulationConfig(cache_size_gb=cache_gb, seed=args.seed)
+        factories = {
+            name.strip().upper(): PolicySpec(name.strip().upper())
+            for name in args.policies.split(",")
+            if name.strip()
+        }
+        from repro.sim.runner import compare_policies
+
+        comparison = compare_policies(
+            workload, factories, config, num_runs=args.runs, n_jobs=args.jobs
+        )
+        print(f"\ncompare_policies on ingested workload "
+              f"(cache {cache_gb:.4g} GB, {args.runs} run(s)):")
+        metrics = ("traffic_reduction_ratio", "average_service_delay",
+                   "average_stream_quality", "hit_ratio")
+        header = "policy".ljust(8) + "".join(m.rjust(26) for m in metrics)
+        print(header)
+        for name in comparison.policies():
+            row = comparison.metrics_by_policy[name]
+            print(name.ljust(8) + "".join(
+                f"{getattr(row, m):26.6g}" for m in metrics
+            ))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the ``repro-sim`` console script."""
     parser = build_parser()
@@ -127,6 +214,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_single(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "ingest":
+        return _run_ingest(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

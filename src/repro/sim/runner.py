@@ -16,6 +16,10 @@ All three accept ``n_jobs``: with ``n_jobs > 1`` the independent
 order-stable averaging, so the results are byte-identical to the serial
 ones.  Policy factories must then be picklable — use
 :class:`~repro.core.policies.registry.PolicySpec` rather than lambdas.
+They also accept ``transport`` (``"auto"``/``"shm"``/``"pickle"``), which
+controls how the workload reaches the workers: columnar traces travel via
+shared memory by default instead of being re-pickled per worker (see
+:mod:`repro.trace.shm`).
 """
 
 from __future__ import annotations
@@ -92,6 +96,7 @@ def run_replications(
     config: SimulationConfig,
     num_runs: int = 10,
     n_jobs: int = 1,
+    transport: str = "auto",
 ) -> SimulationMetrics:
     """Run one policy ``num_runs`` times with different seeds and average."""
     if num_runs <= 0:
@@ -102,7 +107,9 @@ def run_replications(
         from repro.analysis.parallel import replication_jobs, run_simulation_jobs
 
         jobs = replication_jobs(config, policy_factory, num_runs, share_topology=False)
-        return SimulationMetrics.average(run_simulation_jobs(workload, jobs, n_jobs))
+        return SimulationMetrics.average(
+            run_simulation_jobs(workload, jobs, n_jobs, transport=transport)
+        )
     results: List[SimulationMetrics] = []
     for run_index in range(num_runs):
         run_config = config.with_seed(config.seed + run_index)
@@ -118,6 +125,7 @@ def compare_policies(
     config: SimulationConfig,
     num_runs: int = 3,
     n_jobs: int = 1,
+    transport: str = "auto",
 ) -> PolicyComparison:
     """Run several policies over the same seeds and network assignments.
 
@@ -152,7 +160,8 @@ def compare_policies(
                     )
                 )
                 order.append(name)
-        for name, metrics in zip(order, run_simulation_jobs(workload, jobs, n_jobs)):
+        results = run_simulation_jobs(workload, jobs, n_jobs, transport=transport)
+        for name, metrics in zip(order, results):
             per_policy[name].append(metrics)
     else:
         for run_index in range(num_runs):
@@ -176,6 +185,7 @@ def sweep_cache_sizes(
     config: Optional[SimulationConfig] = None,
     num_runs: int = 3,
     n_jobs: int = 1,
+    transport: str = "auto",
 ) -> SweepResult:
     """Sweep the cache size, comparing all policies at each point.
 
@@ -211,7 +221,7 @@ def sweep_cache_sizes(
                             share_topology=True,
                         )
                     )
-        results = iter(run_simulation_jobs(workload, jobs, n_jobs))
+        results = iter(run_simulation_jobs(workload, jobs, n_jobs, transport=transport))
         for _ in cache_sizes_gb:
             per_policy: Dict[str, List[SimulationMetrics]] = {
                 name: [] for name in policy_factories

@@ -23,6 +23,9 @@ The simulator has two replay paths that produce bit-identical metrics:
   scheduled, iterates the trace in a tight loop — no per-request ``Event``
   allocation, no heap churn, per-request bandwidth-variability draws
   pre-batched through numpy — which is several times faster on long traces.
+  When the workload carries a :class:`~repro.trace.columnar.ColumnarTrace`,
+  the fast path iterates the trace's numpy columns directly, skipping
+  ``Request`` objects entirely.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.sim.config import BandwidthKnowledge, SimulationConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.streaming.session import DeliverySession
+from repro.trace.columnar import ColumnarTrace
 from repro.workload.gismo import Workload
 
 
@@ -66,6 +70,24 @@ class SimulationResult:
             }
         )
         return data
+
+
+def _dense_id_bound(trace: ColumnarTrace) -> Optional[int]:
+    """Largest object id when the trace's ids are dense and non-negative.
+
+    Dense means the ids fit a modest lookup table (bounded by a small
+    multiple of the trace length) — true for generated and ingested
+    catalogs, whose ids are 0..N-1.  Returns ``None`` otherwise, sending
+    the replay down the generic loop.
+    """
+    ids = trace.object_ids_array
+    if ids.size == 0:
+        return 0
+    min_id = int(ids.min())
+    max_id = int(ids.max())
+    if min_id >= 0 and max_id < 4 * ids.size + 1024:
+        return max_id
+    return None
 
 
 class ProxyCacheSimulator:
@@ -234,7 +256,7 @@ class ProxyCacheSimulator:
     # ------------------------------------------------------------------
     def _predraw_ratios(
         self, topology: DeliveryTopology, rng: np.random.Generator, count: int
-    ) -> Optional[List[float]]:
+    ) -> Optional[np.ndarray]:
         """Draw all per-request variability ratios in one numpy batch.
 
         Only legal when every path shares one variability model whose batched
@@ -251,8 +273,8 @@ class ProxyCacheSimulator:
         if model is None or not getattr(model, "iid_batch_equivalent", False):
             return None
         if count == 0:
-            return []
-        return model.sample_ratio(rng, size=count).tolist()
+            return np.empty(0)
+        return np.asarray(model.sample_ratio(rng, size=count), dtype=np.float64)
 
     def _replay_fast(
         self,
@@ -277,7 +299,24 @@ class ProxyCacheSimulator:
         """
         catalog = self.workload.catalog
         trace = self.workload.trace
-        ratios = self._predraw_ratios(topology, rng, len(trace))
+
+        # Dense columnar traces take the dedicated array-native loop.
+        is_columnar = isinstance(trace, ColumnarTrace)
+        if is_columnar:
+            max_id = _dense_id_bound(trace)
+            if max_id is not None:
+                return self._replay_fast_columnar(
+                    policy,
+                    topology,
+                    store,
+                    collector,
+                    estimator,
+                    rng,
+                    warmup_cutoff,
+                    max_id,
+                )
+
+        ratio_array = self._predraw_ratios(topology, rng, len(trace))
 
         # Localise everything touched per request.
         catalog_get = catalog.get
@@ -295,6 +334,7 @@ class ProxyCacheSimulator:
         # the duration of a run (the floor from build_topology is applied
         # before replay starts), so caching it is safe.
         resolved: Dict[int, tuple] = {}
+        ratios = ratio_array.tolist() if ratio_array is not None else None
 
         measuring = collector.measuring
         m_requests = 0
@@ -310,9 +350,19 @@ class ProxyCacheSimulator:
         warmup_count = 0
         hits_by_object: Dict[int, int] = {}
 
-        # Pre-extract the two request fields the loop needs; attribute
-        # access on 10^5-10^6 Request objects adds up.
-        request_fields = [(request.object_id, request.time) for request in trace]
+        # Pre-extract the two request fields the loop needs.  A non-dense
+        # columnar trace hands its arrays over directly (one batch
+        # ``tolist`` per column, native scalars, no Request boxing); an
+        # object trace pays one attribute-access pass, which on 10^5-10^6
+        # Request objects adds up.
+        if is_columnar:
+            # Lazy zip on purpose: consuming it in the loop is cheaper than
+            # materializing 10^5-10^6 fresh tuples up front.
+            request_fields = zip(
+                trace.object_ids_array.tolist(), trace.times_array.tolist()
+            )
+        else:
+            request_fields = [(request.object_id, request.time) for request in trace]
 
         for index, (object_id, req_time) in enumerate(request_fields):
             if index == warmup_cutoff:
@@ -410,5 +460,211 @@ class ProxyCacheSimulator:
             delayed=m_delayed,
             delay_sum_delayed=m_delay_delayed,
             warmup_requests=warmup_count,
+            per_object_hits=hits_by_object,
+        )
+
+    # ------------------------------------------------------------------
+    # The columnar fast replay path.
+    # ------------------------------------------------------------------
+    def _replay_fast_columnar(
+        self,
+        policy,
+        topology: DeliveryTopology,
+        store: CacheStore,
+        collector: MetricsCollector,
+        estimator: Optional[PassiveEstimator],
+        rng: np.random.Generator,
+        warmup_cutoff: int,
+        max_id: int,
+    ) -> None:
+        """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
+
+        Performs the **same arithmetic in the same order** as
+        :meth:`_replay_fast` (and therefore as the event path) — the metric
+        results are bit-identical — but exploits what the columnar
+        representation makes possible:
+
+        * no ``Request`` boxing anywhere: the loop consumes the trace's
+          numpy columns through one batch ``tolist`` per column,
+        * every distinct object is resolved once up front and looked up by
+          list index (dense ids) instead of per-request dict probes,
+        * with a batch-equivalent variability model the per-request
+          observed bandwidth ``max(base * ratio, 1)`` is computed as one
+          vectorised numpy expression (elementwise IEEE-identical to the
+          scalar form),
+        * the replay is split at the warm-up cutoff into two loops, so the
+          per-request warm-up/measuring branches disappear and warm-up
+          requests skip the cache-occupancy read whose value they never
+          use (a pure read; the store is untouched by it).
+        """
+        catalog = self.workload.catalog
+        trace: ColumnarTrace = self.workload.trace
+        total = len(trace)
+        ratio_array = self._predraw_ratios(topology, rng, total)
+
+        # Localise everything touched per request.
+        catalog_get = catalog.get
+        path_for = topology.path_for
+        store_cached = store.cached_bytes
+        policy_on_request = policy.on_request
+        estimator_estimate = estimator.estimate if estimator is not None else None
+        estimator_observe = estimator.observe if estimator is not None else None
+        verify_store = self.config.verify_store
+        verify_consistency = store.verify_consistency
+        inf = float("inf")
+
+        ids_array = trace.object_ids_array
+        ids_list = ids_array.tolist()
+        times_list = trace.times_array.tolist()
+
+        # Resolve every distinct object once; ``entries`` is indexed by
+        # object id (dense, checked by the caller via _dense_id_bound).
+        entries: List[Optional[tuple]] = [None] * (max_id + 1)
+        for object_id in (np.unique(ids_array).tolist() if total else []):
+            obj = catalog_get(object_id)
+            path = path_for(obj)
+            entries[object_id] = (
+                obj,
+                path.base_bandwidth,
+                obj.duration * obj.bitrate,
+                obj.duration,
+                obj.bitrate,
+                1.0 / obj.layers,
+                obj.value,
+                obj.server_id,
+                path,
+            )
+
+        # Vectorised observed bandwidth when the variability model allows
+        # batched draws: max(base * ratio, 1.0) elementwise.
+        observed_seq: Optional[List[float]] = None
+        if ratio_array is not None and total:
+            base_lut = np.zeros(max_id + 1, dtype=np.float64)
+            for object_id, entry in enumerate(entries):
+                if entry is not None:
+                    base_lut[object_id] = entry[1]
+            observed_array = base_lut[ids_array] * ratio_array
+            np.maximum(observed_array, 1.0, out=observed_array)
+            observed_seq = observed_array.tolist()
+
+        measuring = collector.measuring
+        warmup_end = 0 if measuring else min(warmup_cutoff, total)
+
+        # ---- Warm-up phase: feed the policy (and estimator), record
+        # nothing.  The delivery-outcome arithmetic and the cache-occupancy
+        # read are skipped entirely; neither has side effects.
+        for index, object_id in enumerate(ids_list[:warmup_end]):
+            entry = entries[object_id]
+            obj, base_bw, _, _, _, _, _, server_id, path = entry
+            if observed_seq is not None:
+                observed = observed_seq[index]
+            else:
+                observed = path.observed_bandwidth(rng)
+            if estimator_estimate is not None:
+                believed = estimator_estimate(server_id)
+            else:
+                believed = base_bw
+            policy_on_request(obj, believed, times_list[index], store)
+            if estimator_observe is not None:
+                estimator_observe(server_id, observed)
+            if verify_store and not verify_consistency():
+                raise AssertionError(
+                    "cache store accounting became inconsistent "
+                    f"after request {index} (object {object_id})"
+                )
+
+        m_requests = 0
+        m_bytes_cache = 0.0
+        m_bytes_server = 0.0
+        m_delay = 0.0
+        m_quality = 0.0
+        m_value = 0.0
+        m_hits = 0
+        m_immediate = 0
+        m_delayed = 0
+        m_delay_delayed = 0.0
+        hits_by_object: Dict[int, int] = {}
+
+        # ---- Measurement phase: identical per-request arithmetic to
+        # _replay_fast's measuring branch, with the phase-local sequences
+        # sliced so no per-request index arithmetic is needed.
+        times_measure = times_list[warmup_end:]
+        observed_measure = (
+            observed_seq[warmup_end:] if observed_seq is not None else None
+        )
+        for offset, object_id in enumerate(ids_list[warmup_end:]):
+            entry = entries[object_id]
+            obj, base_bw, size, duration, bitrate, quantum, value, server_id, path = entry
+
+            if observed_measure is not None:
+                observed = observed_measure[offset]
+            else:
+                observed = path.observed_bandwidth(rng)
+
+            if estimator_estimate is not None:
+                believed = estimator_estimate(server_id)
+            else:
+                believed = base_bw
+
+            cached = store_cached(object_id)
+
+            # DeliverySession.outcome(), inlined with identical
+            # floating-point operation order.
+            if cached > size:
+                cached = size
+            missing = size - duration * observed - cached
+            if missing <= 0:
+                delay = 0.0
+            elif observed <= 0:
+                delay = inf
+            else:
+                delay = missing / observed
+            supported_rate = cached / duration + (
+                observed if observed > 0.0 else 0.0
+            )
+            fraction = supported_rate / bitrate
+            if fraction >= 1.0:
+                quality = 1.0
+            else:
+                quality = int(fraction / quantum + 1e-9) * quantum
+
+            # MetricsCollector.record(), inlined in the same order.
+            m_requests += 1
+            m_bytes_cache += cached
+            m_bytes_server += size - cached
+            m_delay += delay
+            m_quality += quality
+            if delay <= 0.0:
+                m_value += value
+                m_immediate += 1
+            else:
+                m_delayed += 1
+                m_delay_delayed += delay
+            if cached > 0:
+                m_hits += 1
+                hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+
+            policy_on_request(obj, believed, times_measure[offset], store)
+            if estimator_observe is not None:
+                estimator_observe(server_id, observed)
+            if verify_store and not verify_consistency():
+                raise AssertionError(
+                    "cache store accounting became inconsistent "
+                    f"after request {warmup_end + offset} (object {object_id})"
+                )
+
+        collector.measuring = measuring or total > warmup_end
+        collector.absorb(
+            requests=m_requests,
+            bytes_from_cache=m_bytes_cache,
+            bytes_from_server=m_bytes_server,
+            delay_sum=m_delay,
+            quality_sum=m_quality,
+            value_sum=m_value,
+            hits=m_hits,
+            immediate=m_immediate,
+            delayed=m_delayed,
+            delay_sum_delayed=m_delay_delayed,
+            warmup_requests=warmup_end,
             per_object_hits=hits_by_object,
         )

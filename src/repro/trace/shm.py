@@ -1,0 +1,179 @@
+"""Shared-memory transport for columnar traces.
+
+``repro.analysis.parallel`` fans simulation jobs out over a process pool.
+Without help, every worker receives its own pickled copy of the workload —
+on a million-request trace that is tens of megabytes serialized, copied,
+and deserialized *per worker*.  This module publishes a
+:class:`~repro.trace.columnar.ColumnarTrace` **once** into a
+:class:`multiprocessing.shared_memory.SharedMemory` block; workers attach
+by name and wrap zero-copy numpy views around the block, so the trace
+payload crosses the process boundary exactly once regardless of worker
+count.
+
+Layout: the three columns are packed back-to-back into a single block —
+``times`` (float64) at offset 0, ``object_ids`` (int64) after it, then
+``client_ids`` (int32) — described by a tiny picklable
+:class:`SharedTraceDescriptor`.
+
+Lifecycle: the publisher owns the block and must call
+:meth:`SharedTrace.unlink` (or use the handle as a context manager) when
+all workers are done; callers are expected to do so in a ``finally`` block
+so the segment is reclaimed even when a worker crashes.  Attachments hold
+the mapped block alive via the returned trace's owner reference and are
+closed when the worker process exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.trace.columnar import COLUMN_DTYPES, ColumnarTrace
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+def shm_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` is usable here."""
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class SharedTraceDescriptor:
+    """Everything a worker needs to attach to a published trace.
+
+    Attributes
+    ----------
+    name:
+        The shared-memory block's system-wide name.
+    num_requests:
+        Number of requests (hence the length of every column).
+    """
+
+    name: str
+    num_requests: int
+
+    def layout(self) -> Tuple[Tuple[str, np.dtype, int], ...]:
+        """Per-column ``(name, dtype, byte offset)`` of the packed block."""
+        spec = []
+        offset = 0
+        for column, dtype in COLUMN_DTYPES:
+            spec.append((column, dtype, offset))
+            offset += dtype.itemsize * self.num_requests
+        return tuple(spec)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size of the block in bytes."""
+        return sum(
+            dtype.itemsize * self.num_requests for _, dtype in COLUMN_DTYPES
+        )
+
+
+class SharedTrace:
+    """Publisher-side handle for a trace living in shared memory."""
+
+    def __init__(self, shm, descriptor: SharedTraceDescriptor):
+        self._shm = shm
+        self.descriptor = descriptor
+        self._released = False
+
+    def unlink(self) -> None:
+        """Close the mapping and remove the block from the system (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+
+    def __enter__(self) -> "SharedTrace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.unlink()
+
+
+def publish_trace(trace: ColumnarTrace) -> SharedTrace:
+    """Copy a columnar trace into a fresh shared-memory block.
+
+    Returns a :class:`SharedTrace` whose ``descriptor`` is cheap to pickle
+    into worker initializers.  Raises when shared memory is unavailable on
+    this platform; callers that can fall back to pickling should catch
+    :class:`OSError` / :class:`ConfigurationError`.
+    """
+    if _shared_memory is None:
+        raise ConfigurationError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    descriptor_size = 0
+    for _, dtype in COLUMN_DTYPES:
+        descriptor_size += dtype.itemsize * len(trace)
+    # A zero-request trace still needs a non-empty block to have a name.
+    shm = _shared_memory.SharedMemory(create=True, size=max(descriptor_size, 1))
+    try:
+        descriptor = SharedTraceDescriptor(name=shm.name, num_requests=len(trace))
+        columns = {
+            "times": trace.times_array,
+            "object_ids": trace.object_ids_array,
+            "client_ids": trace.client_ids_array,
+        }
+        for column, dtype, offset in descriptor.layout():
+            target = np.ndarray(
+                (descriptor.num_requests,), dtype=dtype, buffer=shm.buf, offset=offset
+            )
+            target[:] = columns[column]
+        return SharedTrace(shm, descriptor)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+
+
+def attach_trace(descriptor: SharedTraceDescriptor) -> ColumnarTrace:
+    """Attach to a published trace and wrap zero-copy views around it.
+
+    The returned trace keeps the mapped block alive through its owner
+    reference; the mapping is closed when the trace (typically a worker
+    global) is garbage collected or the process exits.
+    """
+    if _shared_memory is None:
+        raise ConfigurationError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    try:
+        # Python >= 3.13: attachments can opt out of resource tracking —
+        # the publisher owns the segment's lifecycle.
+        shm = _shared_memory.SharedMemory(name=descriptor.name, track=False)
+    except TypeError:  # pragma: no cover - older interpreters
+        # Older interpreters register attachments with the resource tracker
+        # too (bpo-39959).  Workers here are always children of the
+        # publisher and share its tracker — under fork by fd inheritance,
+        # under POSIX spawn via the tracker_fd spawn_main receives (Windows
+        # has no shm resource tracker at all) — and registrations for one
+        # name de-duplicate there, so the publisher's unlink still cleans
+        # up exactly once; no manual unregister is needed (and
+        # unregistering would erase the publisher's own registration).
+        shm = _shared_memory.SharedMemory(name=descriptor.name)
+    arrays = {}
+    for column, dtype, offset in descriptor.layout():
+        arrays[column] = np.ndarray(
+            (descriptor.num_requests,), dtype=dtype, buffer=shm.buf, offset=offset
+        )
+    return ColumnarTrace(
+        arrays["times"],
+        arrays["object_ids"],
+        arrays["client_ids"],
+        validate=False,
+        _owner=shm,
+    )

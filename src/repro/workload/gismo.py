@@ -114,7 +114,12 @@ class WorkloadConfig:
 
 @dataclass
 class Workload:
-    """A generated workload: catalog, request trace, and provenance."""
+    """A generated workload: catalog, request trace, and provenance.
+
+    ``trace`` is either an object-per-request :class:`RequestTrace` or a
+    numpy-native :class:`~repro.trace.columnar.ColumnarTrace`; both expose
+    the same protocol and every consumer accepts either.
+    """
 
     catalog: Catalog
     trace: RequestTrace
@@ -185,28 +190,46 @@ class GismoWorkloadGenerator:
         ]
         return Catalog(objects)
 
-    def generate(self) -> Workload:
-        """Generate the full workload: catalog plus request trace."""
+    def generate(self, columnar: bool = False) -> Workload:
+        """Generate the full workload: catalog plus request trace.
+
+        With ``columnar=True`` the trace is emitted as a
+        :class:`~repro.trace.columnar.ColumnarTrace` built directly from the
+        sampled numpy arrays — no per-request ``Request`` boxing, and the
+        workload becomes eligible for the shared-memory parallel transport.
+        Both modes draw from the generator identically and produce
+        value-identical traces.
+        """
         rng = np.random.default_rng(self.config.seed)
         cfg = self.config
         catalog = self.generate_catalog(rng)
         times = self.arrivals.sample(cfg.num_requests, rng)
         ranks = self.popularity.sample_ranks(cfg.num_objects, cfg.num_requests, rng)
-        trace = RequestTrace.from_arrays(times, ranks)
+        if columnar:
+            # Imported lazily: repro.trace.columnar consumes this module's
+            # types through the package, so a top-level import would cycle.
+            from repro.trace.columnar import ColumnarTrace
+
+            trace = ColumnarTrace(times, ranks)
+        else:
+            trace = RequestTrace.from_arrays(times, ranks)
         expected = self.popularity.probabilities(cfg.num_objects) * cfg.num_requests
         return Workload(
             catalog=catalog, trace=trace, config=cfg, expected_rates=expected
         )
 
 
-def table1_workload(seed: int = 0, scale: float = 1.0) -> Workload:
+def table1_workload(
+    seed: int = 0, scale: float = 1.0, columnar: bool = False
+) -> Workload:
     """Convenience constructor for the paper's Table 1 workload.
 
     ``scale`` shrinks (or grows) the object and request counts while keeping
     every distributional parameter fixed, which preserves the relative
     behaviour of the caching policies at a fraction of the runtime.
+    ``columnar`` selects the numpy-native trace representation.
     """
     config = WorkloadConfig(seed=seed)
     if scale != 1.0:
         config = config.scaled(scale)
-    return GismoWorkloadGenerator(config).generate()
+    return GismoWorkloadGenerator(config).generate(columnar=columnar)

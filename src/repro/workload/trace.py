@@ -10,11 +10,56 @@ traces can be archived alongside experiment results.
 from __future__ import annotations
 
 import csv
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError, TraceFormatError
+
+#: Column order of the CSV trace format shared by :class:`RequestTrace` and
+#: :class:`repro.trace.columnar.ColumnarTrace`.
+TRACE_CSV_FIELDS: Tuple[str, str, str] = ("time", "object_id", "client_id")
+
+
+def iter_csv_rows(path: Union[str, Path]) -> Iterator[Tuple[float, int, int]]:
+    """Stream validated ``(time, object_id, client_id)`` rows from a CSV trace.
+
+    Rows are parsed and validated one at a time — malformed numeric fields,
+    non-finite or negative times, and out-of-order timestamps all raise
+    :class:`~repro.exceptions.TraceFormatError` carrying the offending line
+    number, *without* first materializing the rest of the file.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != TRACE_CSV_FIELDS:
+            raise TraceFormatError(
+                f"{path}: expected header {TRACE_CSV_FIELDS}, got {header}"
+            )
+        previous_time: float = -math.inf
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                time = float(row[0])
+                object_id = int(row[1])
+                client_id = int(row[2])
+            except (ValueError, IndexError) as exc:
+                raise TraceFormatError(f"{path}:{line_number}: bad row {row!r}") from exc
+            if not math.isfinite(time) or time < 0:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: time must be finite and non-negative, "
+                    f"got {row[0]!r}"
+                )
+            if time < previous_time:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: time {time} decreases "
+                    f"(previous request at {previous_time})"
+                )
+            previous_time = time
+            yield time, object_id, client_id
 
 
 @dataclass(frozen=True)
@@ -44,7 +89,7 @@ class Request:
 class RequestTrace:
     """An ordered sequence of :class:`Request` objects."""
 
-    _FIELDS = ("time", "object_id", "client_id")
+    _FIELDS = TRACE_CSV_FIELDS
 
     def __init__(self, requests: Iterable[Request]):
         self._requests: List[Request] = list(requests)
@@ -127,30 +172,17 @@ class RequestTrace:
 
     @classmethod
     def from_csv(cls, path: Union[str, Path]) -> "RequestTrace":
-        """Read a trace previously written by :meth:`to_csv`."""
-        path = Path(path)
-        requests: List[Request] = []
-        with path.open("r", newline="") as handle:
-            reader = csv.reader(handle)
-            header = next(reader, None)
-            if header is None or tuple(header) != cls._FIELDS:
-                raise TraceFormatError(
-                    f"{path}: expected header {cls._FIELDS}, got {header}"
-                )
-            for line_number, row in enumerate(reader, start=2):
-                if not row:
-                    continue
-                try:
-                    requests.append(
-                        Request(
-                            time=float(row[0]),
-                            object_id=int(row[1]),
-                            client_id=int(row[2]),
-                        )
-                    )
-                except (ValueError, IndexError) as exc:
-                    raise TraceFormatError(f"{path}:{line_number}: bad row {row!r}") from exc
-        return cls(requests)
+        """Read a trace previously written by :meth:`to_csv`.
+
+        Rows are streamed and validated as they are parsed (see
+        :func:`iter_csv_rows`): a malformed or out-of-order row raises
+        :class:`~repro.exceptions.TraceFormatError` with its line number
+        without reading the remainder of the file first.
+        """
+        return cls(
+            Request(time=time, object_id=object_id, client_id=client_id)
+            for time, object_id, client_id in iter_csv_rows(path)
+        )
 
     @classmethod
     def from_arrays(

@@ -1,0 +1,217 @@
+"""Shared-memory trace transport: fidelity, determinism, and cleanup.
+
+Pinned guarantees:
+
+* a published trace attaches with exactly the same values (zero-copy views
+  over the shared block),
+* ``run_simulation_jobs`` produces byte-identical results under every
+  transport (``shm`` / ``pickle`` / serial), so ``n_jobs > 1`` with shared
+  memory changes nothing but speed,
+* the shared segment is unlinked even when workers fail, and the ``auto``
+  transport falls back to pickling when shared memory is unusable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import parallel as parallel_mod
+from repro.analysis.parallel import replication_jobs, run_simulation_jobs
+from repro.core.policies import PolicySpec
+from repro.exceptions import ConfigurationError
+from repro.network.variability import NLANRRatioVariability
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import compare_policies, run_replications
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.shm import attach_trace, publish_trace, shm_available
+from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def columnar_workload():
+    config = WorkloadConfig(seed=0).scaled(0.02)  # 100 objects, 2000 requests
+    return GismoWorkloadGenerator(config).generate(columnar=True)
+
+
+@pytest.fixture(scope="module")
+def sim_config():
+    return SimulationConfig(
+        cache_size_gb=0.5, variability=NLANRRatioVariability(), seed=0
+    )
+
+
+class TestPublishAttach:
+    def test_roundtrip_values(self, columnar_workload):
+        trace = columnar_workload.trace
+        with publish_trace(trace) as shared:
+            attached = attach_trace(shared.descriptor)
+            assert attached == trace
+            assert attached.times_array.dtype == np.float64
+            # The attachment is a view over the shared block, not a pickle
+            # copy: its buffers do not alias the publisher's private arrays.
+            assert not np.shares_memory(attached.times_array, trace.times_array)
+
+    def test_descriptor_reports_layout(self, columnar_workload):
+        trace = columnar_workload.trace
+        with publish_trace(trace) as shared:
+            descriptor = shared.descriptor
+            assert descriptor.num_requests == len(trace)
+            assert descriptor.nbytes == trace.nbytes
+            offsets = [offset for _, _, offset in descriptor.layout()]
+            assert offsets == sorted(offsets)
+
+    def test_empty_trace_roundtrip(self):
+        empty = ColumnarTrace([], [])
+        with publish_trace(empty) as shared:
+            assert attach_trace(shared.descriptor) == empty
+
+    def test_unlink_reclaims_segment(self, columnar_workload):
+        shared = publish_trace(columnar_workload.trace)
+        shared.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_trace(shared.descriptor)
+        shared.unlink()  # idempotent
+
+
+class TestTransportDeterminism:
+    def test_all_transports_byte_identical(
+        self, columnar_workload, sim_config, monkeypatch
+    ):
+        # Drop the auto-transport size gate so this small trace exercises
+        # the shm path under "auto" too.
+        monkeypatch.setattr(parallel_mod, "SHM_MIN_TRACE_BYTES", 0)
+        jobs = replication_jobs(sim_config, PolicySpec("PB"), num_runs=2)
+        serial = run_simulation_jobs(columnar_workload, jobs, n_jobs=1)
+        shm = run_simulation_jobs(
+            columnar_workload, jobs, n_jobs=2, transport="shm"
+        )
+        pickled = run_simulation_jobs(
+            columnar_workload, jobs, n_jobs=2, transport="pickle"
+        )
+        auto = run_simulation_jobs(columnar_workload, jobs, n_jobs=2)
+        assert shm == serial
+        assert pickled == serial
+        assert auto == serial
+
+    def test_auto_pickles_small_traces(self, columnar_workload, sim_config, monkeypatch):
+        """Below the size gate, auto must not touch shared memory at all."""
+
+        def forbidden_publish(trace):  # pragma: no cover - failure path
+            raise AssertionError("auto transport published a tiny trace")
+
+        monkeypatch.setattr(parallel_mod, "publish_trace", forbidden_publish)
+        jobs = replication_jobs(sim_config, PolicySpec("PB"), num_runs=2)
+        serial = run_simulation_jobs(columnar_workload, jobs, n_jobs=1)
+        auto = run_simulation_jobs(columnar_workload, jobs, n_jobs=2)
+        assert auto == serial
+
+    def test_object_trace_can_be_forced_through_shm(self, sim_config):
+        config = WorkloadConfig(seed=0).scaled(0.02)
+        object_workload = GismoWorkloadGenerator(config).generate()
+        jobs = replication_jobs(sim_config, PolicySpec("PB"), num_runs=2)
+        serial = run_simulation_jobs(object_workload, jobs, n_jobs=1)
+        forced = run_simulation_jobs(
+            object_workload, jobs, n_jobs=2, transport="shm"
+        )
+        assert forced == serial
+
+    def test_invalid_transport_rejected(self, columnar_workload, sim_config):
+        jobs = replication_jobs(sim_config, PolicySpec("PB"), num_runs=1)
+        with pytest.raises(ConfigurationError):
+            run_simulation_jobs(columnar_workload, jobs, n_jobs=2, transport="zmq")
+
+    def test_runner_helpers_shm_match_serial(self, columnar_workload, sim_config):
+        serial = run_replications(
+            columnar_workload, PolicySpec("PB"), sim_config, num_runs=2
+        )
+        parallel = run_replications(
+            columnar_workload, PolicySpec("PB"), sim_config, num_runs=2, n_jobs=2
+        )
+        assert parallel == serial
+
+        factories = {name: PolicySpec(name) for name in ("PB", "IB")}
+        serial_cmp = compare_policies(
+            columnar_workload, factories, sim_config, num_runs=2
+        )
+        parallel_cmp = compare_policies(
+            columnar_workload, factories, sim_config, num_runs=2, n_jobs=2
+        )
+        for name in factories:
+            assert (
+                parallel_cmp.metrics_by_policy[name]
+                == serial_cmp.metrics_by_policy[name]
+            )
+
+
+class TestFallbackAndCleanup:
+    def test_auto_falls_back_to_pickle_when_publish_fails(
+        self, columnar_workload, sim_config, monkeypatch
+    ):
+        def broken_publish(trace):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(parallel_mod, "SHM_MIN_TRACE_BYTES", 0)
+        monkeypatch.setattr(parallel_mod, "publish_trace", broken_publish)
+        jobs = replication_jobs(sim_config, PolicySpec("PB"), num_runs=2)
+        serial = run_simulation_jobs(columnar_workload, jobs, n_jobs=1)
+        fallback = run_simulation_jobs(columnar_workload, jobs, n_jobs=2)
+        assert fallback == serial
+
+    def test_forced_shm_unavailable_raises_even_serially(
+        self, columnar_workload, sim_config, monkeypatch
+    ):
+        monkeypatch.setattr(parallel_mod, "shm_available", lambda: False)
+        jobs = replication_jobs(sim_config, PolicySpec("PB"), num_runs=1)
+        with pytest.raises(ConfigurationError):
+            run_simulation_jobs(columnar_workload, jobs, n_jobs=1, transport="shm")
+        with pytest.raises(ConfigurationError):
+            run_simulation_jobs(columnar_workload, jobs, n_jobs=2, transport="shm")
+
+    def test_forced_shm_surfaces_publish_failure(
+        self, columnar_workload, sim_config, monkeypatch
+    ):
+        def broken_publish(trace):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(parallel_mod, "publish_trace", broken_publish)
+        jobs = replication_jobs(sim_config, PolicySpec("PB"), num_runs=2)
+        with pytest.raises(OSError):
+            run_simulation_jobs(
+                columnar_workload, jobs, n_jobs=2, transport="shm"
+            )
+
+    def test_segment_unlinked_even_when_workers_fail(
+        self, columnar_workload, sim_config, monkeypatch
+    ):
+        published = []
+        real_publish = parallel_mod.publish_trace
+
+        def tracking_publish(trace):
+            shared = real_publish(trace)
+            published.append(shared)
+            return shared
+
+        monkeypatch.setattr(parallel_mod, "publish_trace", tracking_publish)
+        jobs = [
+            parallel_mod.SimulationJob(
+                config=sim_config,
+                policy_factory=_ExplodingFactory(),
+                share_topology=False,
+            )
+        ] * 2
+        with pytest.raises(Exception):
+            run_simulation_jobs(columnar_workload, jobs, n_jobs=2, transport="shm")
+        assert len(published) == 1
+        # The finally-block must have reclaimed the segment.
+        with pytest.raises(FileNotFoundError):
+            attach_trace(published[0].descriptor)
+
+
+class _ExplodingFactory:
+    """A picklable policy factory that blows up inside the worker."""
+
+    def __call__(self):
+        raise RuntimeError("boom")
