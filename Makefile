@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-full bench-figures ingest-demo
+.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check
 
 ## Tier-1 verification: the full test + benchmark suite.
 test:
@@ -27,3 +27,8 @@ bench-figures:
 ingest-demo:
 	$(PYTHON) -m repro ingest examples/data/sample_squid.log --compare --policies PB,IB,LRU --runs 1
 	$(PYTHON) -m repro ingest examples/data/sample_clf.log
+
+## Documentation gate: link-check README.md + docs/*.md and execute the
+## README quickstart snippet as a smoke test.
+docs-check:
+	$(PYTHON) scripts/check_docs.py

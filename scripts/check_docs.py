@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Documentation checks: markdown link integrity and the README quickstart.
+
+Two checks, both run by ``make docs-check`` and the CI docs job (and, in
+library form, by ``tests/test_docs.py``):
+
+* **Link check** — every inline markdown link ``[text](target)`` in
+  ``README.md`` and ``docs/*.md`` that points at a local path must resolve
+  to an existing file or directory (anchors are stripped; ``http(s)``/
+  ``mailto`` targets are skipped — CI must not flake on the network).
+* **Quickstart check** — the first ``python`` code block in ``README.md``
+  must run as-is (with ``src/`` on ``PYTHONPATH``), so the very first thing
+  a new user copies cannot be stale.
+
+Exit status is non-zero when any check fails; failures are listed one per
+line as ``file:line: message``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: [text](target) — target captured lazily so
+#: titles ("...") and nested parens in URLs do not confuse the check.
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Targets that are not local paths.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path = REPO_ROOT) -> List[Path]:
+    """The markdown set covered by the docs gate: README.md + docs/*.md."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def check_links(files: Optional[List[Path]] = None) -> List[str]:
+    """Return ``file:line: message`` entries for every broken local link."""
+    problems: List[str] = []
+    for path in files if files is not None else iter_markdown_files():
+        in_fence = False
+        for line_number, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK_PATTERN.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                    continue
+                local = target.split("#", 1)[0]
+                if not local:
+                    continue
+                resolved = (path.parent / local).resolve()
+                if not resolved.exists():
+                    try:
+                        shown = path.relative_to(REPO_ROOT)
+                    except ValueError:
+                        shown = path
+                    problems.append(
+                        f"{shown}:{line_number}: broken link -> {target}"
+                    )
+    return problems
+
+
+def extract_quickstart(readme: Optional[Path] = None) -> Optional[str]:
+    """The first ``python`` fenced code block of the README, or ``None``."""
+    readme = readme or REPO_ROOT / "README.md"
+    if not readme.exists():
+        return None
+    match = re.search(r"```python\n(.*?)```", readme.read_text(), flags=re.S)
+    return match.group(1) if match else None
+
+
+def run_quickstart(snippet: Optional[str] = None) -> Tuple[int, str]:
+    """Execute the README quickstart snippet; return (exit code, output)."""
+    snippet = snippet if snippet is not None else extract_quickstart()
+    if snippet is None:
+        return 1, "README.md has no ```python quickstart block"
+    with tempfile.NamedTemporaryFile(
+        "w", suffix="_quickstart.py", delete=False
+    ) as handle:
+        handle.write(snippet)
+        script = handle.name
+    try:
+        completed = subprocess.run(
+            [sys.executable, script],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+            timeout=300,
+        )
+    finally:
+        Path(script).unlink(missing_ok=True)
+    return completed.returncode, completed.stdout + completed.stderr
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links-only",
+        action="store_true",
+        help="skip executing the README quickstart snippet",
+    )
+    args = parser.parse_args(argv)
+
+    files = iter_markdown_files()
+    problems = check_links(files)
+    for problem in problems:
+        print(problem)
+    print(f"link check: {len(files)} files, {len(problems)} broken links")
+    status = 1 if problems else 0
+
+    if not args.links_only:
+        code, output = run_quickstart()
+        if code != 0:
+            print("quickstart check: FAILED")
+            print(output)
+            status = 1
+        else:
+            print("quickstart check: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

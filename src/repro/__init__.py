@@ -63,6 +63,7 @@ from repro.network import (
 from repro.sim import (
     BandwidthKnowledge,
     ProxyCacheSimulator,
+    RemeasurementConfig,
     SimulationConfig,
     SimulationMetrics,
     compare_policies,
@@ -111,6 +112,7 @@ __all__ = [
     "PathRegistry",
     "PolicyError",
     "ProxyCacheSimulator",
+    "RemeasurementConfig",
     "ReproError",
     "Request",
     "RequestTrace",

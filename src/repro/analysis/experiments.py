@@ -19,7 +19,7 @@ results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -35,7 +35,8 @@ from repro.network.variability import (
     NLANRRatioVariability,
     empirical_ratio_statistics,
 )
-from repro.sim.config import SimulationConfig
+from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.events import RemeasurementConfig
 from repro.sim.runner import SweepResult, compare_policies, sweep_cache_sizes
 from repro.workload.gismo import GismoWorkloadGenerator, Workload, WorkloadConfig
 
@@ -339,6 +340,78 @@ def experiment_fig8_low_variability(
     )
 
 
+def _estimator_surfaces(
+    workload: Workload,
+    policy_name: str,
+    series_label: str,
+    estimator_values: Sequence[float],
+    cache_sizes: Sequence[float],
+    total_gb: float,
+    config: SimulationConfig,
+    num_runs: int,
+    n_jobs: int,
+) -> Dict[float, SweepResult]:
+    """One cache-size sweep per estimator-``e`` value (Figures 9 and 12)."""
+    surfaces: Dict[float, SweepResult] = {}
+    for e_value in estimator_values:
+        factories = {series_label: PolicySpec(policy_name, estimator_e=float(e_value))}
+        sweep = sweep_cache_sizes(
+            workload, factories, cache_sizes, config, num_runs, n_jobs=n_jobs
+        )
+        sweep.parameter_name = "cache_fraction"
+        sweep.parameter_values = [size / total_gb for size in sweep.parameter_values]
+        surfaces[float(e_value)] = sweep
+    return surfaces
+
+
+def _remeasurement_ablation(
+    data: Dict[str, object],
+    notes: List[str],
+    remeasurement_interval: Optional[float],
+    workload: Workload,
+    policy_name: str,
+    series_label: str,
+    estimator_values: Sequence[float],
+    cache_sizes: Sequence[float],
+    total_gb: float,
+    config: SimulationConfig,
+    num_runs: int,
+    n_jobs: int,
+) -> None:
+    """Extend an estimator-sweep result with the re-measurement ablation.
+
+    Two extra surfaces are produced under passive bandwidth knowledge: the
+    estimator fed by request-driven observations only
+    (``sweeps_by_e_passive``) and the estimator additionally refreshed by
+    periodic re-measurement on the given cadence
+    (``sweeps_by_e_remeasured``).  Comparing the two against the oracle
+    surfaces isolates what out-of-band measurement buys the paper's
+    estimator-driven policies.
+    """
+    if remeasurement_interval is None:
+        return
+    passive_config = replace(
+        config, bandwidth_knowledge=BandwidthKnowledge.PASSIVE
+    )
+    remeasured_config = replace(
+        passive_config,
+        remeasurement=RemeasurementConfig(interval=float(remeasurement_interval)),
+    )
+    data["remeasurement_interval"] = float(remeasurement_interval)
+    data["sweeps_by_e_passive"] = _estimator_surfaces(
+        workload, policy_name, series_label, estimator_values,
+        cache_sizes, total_gb, passive_config, num_runs, n_jobs,
+    )
+    data["sweeps_by_e_remeasured"] = _estimator_surfaces(
+        workload, policy_name, series_label, estimator_values,
+        cache_sizes, total_gb, remeasured_config, num_runs, n_jobs,
+    )
+    notes.append(
+        "Ablation: passive estimation alone vs passive estimation refreshed by "
+        f"periodic re-measurement every {remeasurement_interval:g}s per path."
+    )
+
+
 def experiment_fig9_estimator_sweep(
     estimator_values: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
     cache_fractions: Sequence[float] = (0.02, 0.05, 0.10, 0.17),
@@ -347,31 +420,42 @@ def experiment_fig9_estimator_sweep(
     seed: int = 0,
     variability: Optional[BandwidthVariabilityModel] = None,
     n_jobs: int = 1,
+    remeasurement_interval: Optional[float] = None,
 ) -> ExperimentResult:
-    """Figure 9: the estimator-``e`` spectrum between IB (e→0) and PB (e=1)."""
+    """Figure 9: the estimator-``e`` spectrum between IB (e→0) and PB (e=1).
+
+    With ``remeasurement_interval`` set, the result additionally carries the
+    re-measurement ablation (see :func:`_remeasurement_ablation`): the same
+    spectrum under passive bandwidth knowledge with and without periodic
+    re-measurement feeding the estimator between requests.
+    """
     variability = variability or NLANRRatioVariability()
     workload = build_workload(scale=scale, seed=seed)
     cache_sizes = cache_sizes_gb_for(workload, cache_fractions)
     total_gb = workload.catalog.total_size_gb
     config = SimulationConfig(variability=variability, seed=seed)
 
-    surfaces: Dict[float, SweepResult] = {}
-    for e_value in estimator_values:
-        factories = {"PB(e)": PolicySpec("PB", estimator_e=float(e_value))}
-        sweep = sweep_cache_sizes(
-            workload, factories, cache_sizes, config, num_runs, n_jobs=n_jobs
-        )
-        sweep.parameter_name = "cache_fraction"
-        sweep.parameter_values = [size / total_gb for size in sweep.parameter_values]
-        surfaces[float(e_value)] = sweep
+    surfaces = _estimator_surfaces(
+        workload, "PB", "PB(e)", estimator_values,
+        cache_sizes, total_gb, config, num_runs, n_jobs,
+    )
+    data: Dict[str, object] = {
+        "estimator_values": list(estimator_values),
+        "sweeps_by_e": surfaces,
+    }
+    notes = [
+        "Paper: smaller e (more conservative, closer to IB) always reduces traffic more,",
+        "but a moderate non-zero e gives slightly lower average service delay.",
+    ]
+    _remeasurement_ablation(
+        data, notes, remeasurement_interval, workload, "PB", "PB(e)",
+        estimator_values, cache_sizes, total_gb, config, num_runs, n_jobs,
+    )
     return ExperimentResult(
         experiment_id="fig9",
         title="Effect of partial caching based on conservative bandwidth estimation",
-        data={"estimator_values": list(estimator_values), "sweeps_by_e": surfaces},
-        notes=[
-            "Paper: smaller e (more conservative, closer to IB) always reduces traffic more,",
-            "but a moderate non-zero e gives slightly lower average service delay.",
-        ],
+        data=data,
+        notes=notes,
     )
 
 
@@ -441,23 +525,24 @@ def experiment_fig12_value_estimator(
     num_runs: int = 2,
     seed: int = 0,
     n_jobs: int = 1,
+    remeasurement_interval: Optional[float] = None,
 ) -> ExperimentResult:
-    """Figure 12: the estimator-``e`` spectrum for value-based partial caching."""
+    """Figure 12: the estimator-``e`` spectrum for value-based partial caching.
+
+    With ``remeasurement_interval`` set, the result additionally carries the
+    re-measurement ablation (see :func:`_remeasurement_ablation`) for the
+    value objective.
+    """
     variability = MeasuredPathVariability("average")
     workload = build_workload(scale=scale, seed=seed)
     cache_sizes = cache_sizes_gb_for(workload, cache_fractions)
     total_gb = workload.catalog.total_size_gb
     config = SimulationConfig(variability=variability, seed=seed)
 
-    surfaces: Dict[float, SweepResult] = {}
-    for e_value in estimator_values:
-        factories = {"PB-V(e)": PolicySpec("PB-V", estimator_e=float(e_value))}
-        sweep = sweep_cache_sizes(
-            workload, factories, cache_sizes, config, num_runs, n_jobs=n_jobs
-        )
-        sweep.parameter_name = "cache_fraction"
-        sweep.parameter_values = [size / total_gb for size in sweep.parameter_values]
-        surfaces[float(e_value)] = sweep
+    surfaces = _estimator_surfaces(
+        workload, "PB-V", "PB-V(e)", estimator_values,
+        cache_sizes, total_gb, config, num_runs, n_jobs,
+    )
     # Also run the IB-V reference the paper compares against ("outperforms
     # IB-V by as much as 30%").
     reference = sweep_cache_sizes(
@@ -465,18 +550,24 @@ def experiment_fig12_value_estimator(
     )
     reference.parameter_name = "cache_fraction"
     reference.parameter_values = [size / total_gb for size in reference.parameter_values]
+    data: Dict[str, object] = {
+        "estimator_values": list(estimator_values),
+        "sweeps_by_e": surfaces,
+        "ibv_reference": reference,
+    }
+    notes = [
+        "Paper: a moderate e (around 0.5) yields the highest total added value,",
+        "outperforming IB-V by as much as 30%.",
+    ]
+    _remeasurement_ablation(
+        data, notes, remeasurement_interval, workload, "PB-V", "PB-V(e)",
+        estimator_values, cache_sizes, total_gb, config, num_runs, n_jobs,
+    )
     return ExperimentResult(
         experiment_id="fig12",
         title="Effect of conservative bandwidth estimation on value-based caching",
-        data={
-            "estimator_values": list(estimator_values),
-            "sweeps_by_e": surfaces,
-            "ibv_reference": reference,
-        },
-        notes=[
-            "Paper: a moderate e (around 0.5) yields the highest total added value,",
-            "outperforming IB-V by as much as 30%.",
-        ],
+        data=data,
+        notes=notes,
     )
 
 

@@ -8,8 +8,14 @@ Three sub-commands cover the common uses:
   (``fig2`` … ``fig12`` or ``tab1``) and print its series,
 * ``repro-sim ingest`` — parse a real proxy access log (Squid native or
   Common/Combined Log Format) into a columnar trace, print a
-  catalog-sizing summary, optionally archive the trace as ``.npz`` and run
-  a policy comparison on the ingested workload.
+  catalog-sizing summary, optionally archive the trace as ``.npz``
+  (``--append`` stitches rolling multi-day segments onto an existing
+  archive) and run a policy comparison on the ingested workload.
+
+``repro-sim run`` also exposes the bandwidth-knowledge model:
+``--knowledge passive`` switches policies from oracle bandwidth to the
+passive estimator, and ``--remeasure-every SECONDS`` adds periodic
+bandwidth re-measurement between requests (see ``docs/events.md``).
 """
 
 from __future__ import annotations
@@ -26,7 +32,8 @@ from repro.network.variability import (
     MeasuredPathVariability,
     NLANRRatioVariability,
 )
-from repro.sim.config import SimulationConfig
+from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.events import RemeasurementConfig
 from repro.sim.simulator import ProxyCacheSimulator
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 
@@ -69,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=0.1,
                      help="fraction of the paper's workload volume")
     run.add_argument("--variability", choices=sorted(VARIABILITY_MODELS), default="constant")
+    run.add_argument("--knowledge", choices=("oracle", "passive"), default="oracle",
+                     help="how the cache learns path bandwidth: exact long-term "
+                          "averages (oracle) or passive per-transfer estimates")
+    run.add_argument("--remeasure-every", type=float, default=None, metavar="SECONDS",
+                     help="periodically re-measure every path's bandwidth between "
+                          "requests on this cadence (feeds the passive estimator; "
+                          "implies the event-capable replay path)")
     run.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser(
@@ -98,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CBR bitrate (KB/s) used to derive object durations")
     ingest.add_argument("--out", default=None,
                         help="write the ingested trace to this .npz file")
+    ingest.add_argument("--append", action="store_true",
+                        help="stitch the ingested trace onto an existing --out "
+                             "archive (the new segment is shifted to start where "
+                             "the archived trace ends, preserving its spacing)")
     ingest.add_argument("--compare", action="store_true",
                         help="run compare_policies on the ingested workload")
     ingest.add_argument("--policies", default="PB,IB,LRU",
@@ -116,10 +134,18 @@ def _run_single(args: argparse.Namespace) -> int:
     workload_config = WorkloadConfig(seed=args.seed)
     if args.scale != 1.0:
         workload_config = workload_config.scaled(args.scale)
-    workload = GismoWorkloadGenerator(workload_config).generate()
+    # Columnar workload: metrics are bit-identical to the object trace, the
+    # replay skips Request boxing, and re-measurement runs take the columnar
+    # event path instead of the classic calendar.
+    workload = GismoWorkloadGenerator(workload_config).generate(columnar=True)
+    remeasurement = None
+    if args.remeasure_every is not None:
+        remeasurement = RemeasurementConfig(interval=args.remeasure_every)
     config = SimulationConfig(
         cache_size_gb=args.cache_gb,
         variability=VARIABILITY_MODELS[args.variability](),
+        bandwidth_knowledge=BandwidthKnowledge(args.knowledge),
+        remeasurement=remeasurement,
         seed=args.seed,
     )
     policy = make_policy(args.policy, estimator_e=args.estimator_e)
@@ -127,6 +153,10 @@ def _run_single(args: argparse.Namespace) -> int:
     print(f"policy: {result.policy_name}")
     print(f"cache size: {args.cache_gb} GB "
           f"({config.cache_fraction_of(workload.catalog.total_size):.1%} of unique bytes)")
+    print(f"replay path: {result.replay_path}")
+    if remeasurement is not None:
+        print(f"bandwidth re-measurements: {result.auxiliary_events_fired} "
+              f"(every {args.remeasure_every:g} s per path)")
     for key, value in result.metrics.as_dict().items():
         print(f"{key}: {value:.6g}")
     return 0
@@ -153,6 +183,10 @@ def _run_ingest(args: argparse.Namespace) -> int:
     from repro.trace.ingest import ingest_access_log
     from repro.units import DEFAULT_BITRATE_KBPS
 
+    if args.append and not args.out:
+        print("--append requires --out", file=sys.stderr)
+        return 2
+
     methods = None
     if args.methods and args.methods.strip() != "*":
         methods = tuple(m.strip().upper() for m in args.methods.split(",") if m.strip())
@@ -170,13 +204,66 @@ def _run_ingest(args: argparse.Namespace) -> int:
             print(f"{key}: {value}")
 
     if args.out:
-        result.trace.to_npz(args.out)
-        print(f"trace written: {args.out} ({len(result.trace)} requests)")
+        import json
+        from pathlib import Path
+
+        import numpy as np
+
+        from repro.trace.columnar import ColumnarTrace
+
+        out_path = Path(args.out)
+        # Object ids are per-ingest first-seen indices, so rolling segments
+        # only share an id space through the URL map archived next to the
+        # trace; --append remaps the new segment through it.
+        sidecar = out_path.with_suffix(".urls.json")
+        if args.append and out_path.exists():
+            existing = ColumnarTrace.from_npz(out_path)
+            new_trace = result.trace
+            if sidecar.exists():
+                merged = json.loads(sidecar.read_text())
+                archived_count = len(merged)
+                lut = np.empty(max(len(result.url_ids), 1), dtype=np.int64)
+                for url, segment_id in result.url_ids.items():
+                    merged_id = merged.get(url)
+                    if merged_id is None:
+                        merged_id = len(merged)
+                        merged[url] = merged_id
+                    lut[segment_id] = merged_id
+                new_trace = ColumnarTrace(
+                    new_trace.times_array,
+                    lut[new_trace.object_ids_array],
+                    new_trace.client_ids_array,
+                    validate=False,
+                )
+            else:
+                merged = None
+                print(f"warning: {sidecar.name} not found next to the archive; "
+                      "appending with this ingest's first-seen object ids, "
+                      "which may not align with the archived segments",
+                      file=sys.stderr)
+            stitched = ColumnarTrace.concat([existing, new_trace], rebase=True)
+            # Archive first, sidecar second: a failure in between leaves a
+            # map that merely lacks the newest URLs (repairable by
+            # re-appending) rather than ids the archive never received.
+            stitched.to_npz(out_path)
+            if merged is not None:
+                sidecar.write_text(json.dumps(merged))
+                print(f"url map: {archived_count} archived urls, "
+                      f"{len(merged) - archived_count} new ({sidecar.name})")
+            print(f"trace appended: {args.out} ({len(existing)} archived + "
+                  f"{len(new_trace)} new = {len(stitched)} requests)")
+        else:
+            result.trace.to_npz(out_path)
+            sidecar.write_text(json.dumps(result.url_ids))
+            print(f"trace written: {args.out} ({len(result.trace)} requests)")
 
     if args.compare:
         if not len(result.trace):
             print("nothing to simulate: the filtered trace is empty")
             return 1
+        if args.append:
+            print("\nnote: --compare simulates the newly ingested segment only, "
+                  "not the stitched archive (per-segment catalogs are not merged)")
         workload = result.to_workload(bitrate=bitrate)
         cache_gb = args.cache_gb
         if cache_gb is None:

@@ -15,6 +15,18 @@ These are the paper's contribution (Sections 2.3–2.5):
   bandwidth is deliberately under-estimated by a factor ``e`` in ``(0, 1]``,
   so the cached prefix grows to ``(r_i − e·b_i) T_i``.  ``e = 1`` recovers
   PB; ``e → 0`` approaches IB (Figure 9).
+
+Where the bandwidth ``b_i`` comes from is the simulator's concern, not the
+policy's: each request's ``PolicyContext.bandwidth`` is the value the cache
+currently *believes* — the oracle long-term average under
+``BandwidthKnowledge.ORACLE``, or the passive EWMA estimate under
+``BandwidthKnowledge.PASSIVE``, optionally refreshed *between* requests by
+periodic re-measurement (:mod:`repro.sim.events`, ``docs/events.md``).
+The ``estimator_e`` under-estimation composes with either source: it is a
+hedge against *variability around* the believed value, while
+re-measurement fights *staleness of* the believed value — the two are
+ablated jointly by the Figure 9/12 experiments'
+``remeasurement_interval`` option.
 """
 
 from __future__ import annotations

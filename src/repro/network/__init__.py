@@ -28,6 +28,7 @@ from repro.network.distributions import (
 )
 from repro.network.measurement import (
     ActiveProber,
+    BandwidthMeasurementLog,
     PassiveEstimator,
     PathConditions,
     pftk_throughput,
@@ -45,6 +46,7 @@ from repro.network.variability import (
 __all__ = [
     "ActiveProber",
     "BandwidthDistribution",
+    "BandwidthMeasurementLog",
     "BandwidthVariabilityModel",
     "ClientCloud",
     "ConstantBandwidthDistribution",

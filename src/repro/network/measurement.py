@@ -15,6 +15,14 @@ the path to an origin server:
 Both are implemented here; the simulator can attach a
 :class:`PassiveEstimator` per path so that policies operate on estimated
 rather than oracle bandwidth.
+
+Passive observation alone only sees a path when a request uses it.  The
+:mod:`repro.sim.events` subsystem closes that gap with periodic
+re-measurement *between* requests; every out-of-band sample it draws is
+recorded in a :class:`BandwidthMeasurementLog`, which keeps bounded
+per-server statistics (count / mean / extremes / last sample) so tests,
+benchmarks, and reports can account for measurement traffic without
+storing every sample.
 """
 
 from __future__ import annotations
@@ -195,3 +203,84 @@ class PassiveEstimator:
         """Forget all observations."""
         self._estimates.clear()
         self._sample_counts.clear()
+
+
+class BandwidthMeasurementLog:
+    """Bounded per-server record of out-of-band bandwidth samples.
+
+    The periodic re-measurement events of :mod:`repro.sim.events` can fire
+    millions of times on a long trace, so the log keeps running statistics
+    (count, mean, min/max, last sample and its timestamp) per server rather
+    than the samples themselves — constant memory per server, enough to
+    account for measurement overhead and to sanity-check cadence in tests.
+    """
+
+    __slots__ = ("_counts", "_means", "_mins", "_maxs", "_last", "_last_time")
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._means: Dict[int, float] = {}
+        self._mins: Dict[int, float] = {}
+        self._maxs: Dict[int, float] = {}
+        self._last: Dict[int, float] = {}
+        self._last_time: Dict[int, float] = {}
+
+    def record(self, time: float, server_id: int, throughput: float) -> None:
+        """Record one sample (KB/s) for a server at simulation ``time``."""
+        if throughput <= 0:
+            raise MeasurementError(
+                f"throughput must be positive, got {throughput} for server {server_id}"
+            )
+        count = self._counts.get(server_id, 0)
+        if count == 0:
+            self._means[server_id] = throughput
+            self._mins[server_id] = throughput
+            self._maxs[server_id] = throughput
+        else:
+            # Streaming mean: exact regardless of sample count.
+            self._means[server_id] += (throughput - self._means[server_id]) / (count + 1)
+            if throughput < self._mins[server_id]:
+                self._mins[server_id] = throughput
+            elif throughput > self._maxs[server_id]:
+                self._maxs[server_id] = throughput
+        self._counts[server_id] = count + 1
+        self._last[server_id] = throughput
+        self._last_time[server_id] = float(time)
+
+    @property
+    def total_samples(self) -> int:
+        """Total number of samples recorded across all servers."""
+        return sum(self._counts.values())
+
+    def sample_count(self, server_id: int) -> int:
+        """Number of samples recorded for one server."""
+        return self._counts.get(server_id, 0)
+
+    def mean(self, server_id: int) -> Optional[float]:
+        """Mean sampled bandwidth for a server (None before any sample)."""
+        return self._means.get(server_id)
+
+    def last_sample(self, server_id: int) -> Optional[float]:
+        """Most recent sample for a server (None before any sample)."""
+        return self._last.get(server_id)
+
+    def last_sample_time(self, server_id: int) -> Optional[float]:
+        """Simulation time of the most recent sample for a server."""
+        return self._last_time.get(server_id)
+
+    def servers(self) -> List[int]:
+        """Servers with at least one recorded sample, sorted."""
+        return sorted(self._counts.keys())
+
+    def as_dict(self) -> Dict[int, Dict[str, float]]:
+        """Per-server summary rows (count / mean / min / max / last)."""
+        return {
+            server_id: {
+                "count": float(self._counts[server_id]),
+                "mean": self._means[server_id],
+                "min": self._mins[server_id],
+                "max": self._maxs[server_id],
+                "last": self._last[server_id],
+            }
+            for server_id in self.servers()
+        }

@@ -64,6 +64,25 @@ class NetworkPath:
         ratio = float(self.variability.sample_ratio(rng, size=1)[0])
         return max(self.base_bandwidth * ratio, 1.0)
 
+    def sample_observed(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` observed-bandwidth samples in one vectorised batch.
+
+        Elementwise identical to ``size`` consecutive
+        :meth:`observed_bandwidth` calls when the variability model is
+        batch-equivalent (``iid_batch_equivalent``) — the property the
+        bundled models guarantee and ``tests/test_network_path_topology.py``
+        pins.  Characterising a path's distribution this way (e.g. sizing a
+        re-measurement cadence against its spread) avoids a Python call per
+        sample; it is also the building block for batching the periodic
+        probe draws themselves (a ROADMAP follow-up).
+        """
+        if size < 0:
+            raise ConfigurationError(f"size must be non-negative, got {size}")
+        ratios = np.asarray(
+            self.variability.sample_ratio(rng, size=size), dtype=np.float64
+        )
+        return np.maximum(self.base_bandwidth * ratios, 1.0)
+
     def estimated_bandwidth(self, estimator_e: float = 1.0) -> float:
         """Bandwidth the cache *believes* the path has (KB/s).
 

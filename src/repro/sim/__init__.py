@@ -1,26 +1,43 @@
 """Trace-driven simulation of the caching-accelerator architecture.
 
 * :mod:`repro.sim.engine` — a small discrete-event simulation engine,
+* :mod:`repro.sim.events` — typed periodic auxiliary events (periodic
+  bandwidth re-measurement) merged into the request stream,
 * :mod:`repro.sim.config` — simulation configuration,
 * :mod:`repro.sim.metrics` — the paper's performance metrics (Section 3.3),
-* :mod:`repro.sim.simulator` — the proxy-cache simulator proper,
-* :mod:`repro.sim.runner` — multi-run averaging and parameter sweeps.
+* :mod:`repro.sim.simulator` — the proxy-cache simulator proper, with its
+  three bit-identical replay paths (event calendar / fast / columnar
+  event; see ``docs/architecture.md``),
+* :mod:`repro.sim.runner` — multi-run averaging and parameter sweeps,
+* :mod:`repro.sim.sharing` — the stream-sharing analyzer.
 """
 
 from repro.sim.config import BandwidthKnowledge, SimulationConfig
 from repro.sim.engine import Event, EventQueue, SimulationEngine
+from repro.sim.events import (
+    AuxiliarySchedule,
+    BandwidthRemeasurement,
+    PeriodicEvent,
+    RemeasurementConfig,
+    build_remeasurement_events,
+)
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.runner import PolicyComparison, SweepResult, compare_policies, run_replications, sweep_cache_sizes
 from repro.sim.sharing import SharingReport, StreamSharingAnalyzer, prefix_function_for_bandwidth
-from repro.sim.simulator import ProxyCacheSimulator, SimulationResult
+from repro.sim.simulator import REPLAY_PATHS, ProxyCacheSimulator, SimulationResult
 
 __all__ = [
+    "AuxiliarySchedule",
     "BandwidthKnowledge",
+    "BandwidthRemeasurement",
     "Event",
     "EventQueue",
     "MetricsCollector",
+    "PeriodicEvent",
     "PolicyComparison",
     "ProxyCacheSimulator",
+    "REPLAY_PATHS",
+    "RemeasurementConfig",
     "SharingReport",
     "SimulationConfig",
     "SimulationEngine",
@@ -28,6 +45,7 @@ __all__ = [
     "SimulationResult",
     "StreamSharingAnalyzer",
     "SweepResult",
+    "build_remeasurement_events",
     "compare_policies",
     "prefix_function_for_bandwidth",
     "run_replications",

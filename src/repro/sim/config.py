@@ -3,7 +3,8 @@
 A :class:`SimulationConfig` bundles everything about *how* a trace is
 replayed that is independent of the workload itself: the cache capacity, the
 bandwidth model and its variability, how the cache learns bandwidth
-(oracle measurements versus passive estimation), and the warm-up protocol.
+(oracle measurements versus passive estimation, optionally refreshed by
+periodic re-measurement between requests), and the warm-up protocol.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from typing import Optional
 from repro.exceptions import ConfigurationError
 from repro.network.distributions import BandwidthDistribution, NLANRBandwidthDistribution
 from repro.network.variability import BandwidthVariabilityModel, ConstantVariability
+from repro.sim.events import RemeasurementConfig
 from repro.units import gb_to_kb
 
 
@@ -57,6 +59,16 @@ class SimulationConfig:
     passive_smoothing:
         EWMA weight of the passive estimator (only used with
         ``BandwidthKnowledge.PASSIVE``).
+    remeasurement:
+        Optional :class:`~repro.sim.events.RemeasurementConfig` enabling
+        periodic bandwidth re-measurement between requests: each configured
+        path is sampled on its cadence and the samples feed the passive
+        estimator (under ``BandwidthKnowledge.PASSIVE``) and the run's
+        :class:`~repro.network.measurement.BandwidthMeasurementLog`.
+        Scheduling re-measurement routes the replay through an
+        event-capable path (the columnar event loop for dense columnar
+        traces, the classic event calendar otherwise); see
+        ``docs/events.md``.
     seed:
         Seed for the simulation's random number generator (path bandwidth
         assignment and per-request variability draws).
@@ -74,6 +86,7 @@ class SimulationConfig:
     warmup_fraction: float = 0.5
     min_path_bandwidth: float = 4.0
     passive_smoothing: float = 0.25
+    remeasurement: Optional[RemeasurementConfig] = None
     seed: int = 0
     verify_store: bool = False
 
@@ -113,6 +126,15 @@ class SimulationConfig:
     ) -> "SimulationConfig":
         """Copy of this config with a different variability model."""
         return replace(self, variability=variability or ConstantVariability())
+
+    def with_remeasurement(
+        self, remeasurement: Optional[RemeasurementConfig]
+    ) -> "SimulationConfig":
+        """Copy of this config with a different re-measurement cadence.
+
+        Pass ``None`` to disable periodic re-measurement (the default).
+        """
+        return replace(self, remeasurement=remeasurement)
 
     def cache_fraction_of(self, total_unique_kb: float) -> float:
         """Cache size as a fraction of the total unique object size."""

@@ -5,8 +5,11 @@ at known times and are processed in order.  The engine below is a classic
 event-calendar design — a priority queue of timestamped events, a clock that
 only moves forward, and handlers that may schedule further events — which
 keeps the trace-driven simulator honest about time ordering and gives
-extensions (periodic bandwidth re-measurement, delayed prefetch completion,
-cache-consistency timers) a natural place to hook in.
+extensions (delayed prefetch completion, cache-consistency timers) a
+natural place to hook in.  Periodic bandwidth re-measurement — the first
+shipped consumer — lives in :mod:`repro.sim.events`, whose typed events run
+either on this engine or on the simulator's columnar event loop with
+identical ordering.
 """
 
 from __future__ import annotations

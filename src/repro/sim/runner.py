@@ -20,6 +20,14 @@ They also accept ``transport`` (``"auto"``/``"shm"``/``"pickle"``), which
 controls how the workload reaches the workers: columnar traces travel via
 shared memory by default instead of being re-pickled per worker (see
 :mod:`repro.trace.shm`).
+
+Every run replays through whichever path
+:meth:`~repro.sim.simulator.ProxyCacheSimulator.run` selects for the job's
+config — including the columnar event path when the config schedules
+periodic bandwidth re-measurement (:mod:`repro.sim.events`); a
+:class:`~repro.sim.events.RemeasurementConfig` travels inside the pickled
+:class:`~repro.sim.config.SimulationConfig`, so parallel and serial
+execution stay byte-identical.
 """
 
 from __future__ import annotations

@@ -13,19 +13,28 @@ policy, following the paper's methodology (Sections 3 and 4.1):
   outcome *before* letting the policy react, so metrics reflect the cache
   state a real client would have found.
 
-The simulator has two replay paths that produce bit-identical metrics:
+The simulator has three replay paths that produce bit-identical metrics
+(see ``docs/architecture.md`` for the selection diagram):
 
 * the **event-calendar path** dispatches every request through the
-  discrete-event engine, so extensions that need additional event types
-  (periodic re-measurement, delayed completion) compose naturally with the
-  request stream, and
+  discrete-event engine, so arbitrary auxiliary events (anything a subclass
+  schedules through :meth:`ProxyCacheSimulator.schedule_auxiliary_events`)
+  compose naturally with the request stream,
 * the **fast path**, used automatically when no auxiliary events are
   scheduled, iterates the trace in a tight loop — no per-request ``Event``
   allocation, no heap churn, per-request bandwidth-variability draws
   pre-batched through numpy — which is several times faster on long traces.
   When the workload carries a :class:`~repro.trace.columnar.ColumnarTrace`,
   the fast path iterates the trace's numpy columns directly, skipping
-  ``Request`` objects entirely.
+  ``Request`` objects entirely, and
+* the **columnar event path**, used when *typed* periodic events
+  (:mod:`repro.sim.events`, e.g. periodic bandwidth re-measurement from
+  :attr:`~repro.sim.config.SimulationConfig.remeasurement`) are scheduled
+  over a dense-id columnar trace: the event calendar iterates the trace's
+  numpy columns directly — no per-event ``Request`` boxing — merging the
+  auxiliary events into the request stream by ``(time, priority)``.  With
+  no auxiliary events scheduled it performs exactly the columnar fast
+  loop's arithmetic, so its metrics are bit-identical to the other paths.
 """
 
 from __future__ import annotations
@@ -37,19 +46,33 @@ import numpy as np
 
 from repro.core.store import CacheStore
 from repro.exceptions import SimulationError
-from repro.network.measurement import PassiveEstimator
+from repro.network.measurement import BandwidthMeasurementLog, PassiveEstimator
 from repro.network.topology import DeliveryTopology
 from repro.sim.config import BandwidthKnowledge, SimulationConfig
 from repro.sim.engine import SimulationEngine
+from repro.sim.events import AuxiliarySchedule, build_remeasurement_events
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.streaming.session import DeliverySession
 from repro.trace.columnar import ColumnarTrace
 from repro.workload.gismo import Workload
 
 
+#: Replay-path names accepted by :meth:`ProxyCacheSimulator.run`'s
+#: ``replay`` argument (``"auto"`` resolves to one of the other three).
+REPLAY_PATHS = ("auto", "event", "fast", "columnar-event")
+
+
 @dataclass
 class SimulationResult:
-    """Everything a single simulation run produces."""
+    """Everything a single simulation run produces.
+
+    ``replay_path`` records which replay loop ran (``"event"``, ``"fast"``,
+    or ``"columnar-event"``); ``used_fast_path`` is kept as the legacy
+    boolean view of the same fact.  ``auxiliary_events_fired`` counts typed
+    periodic-event firings (e.g. bandwidth re-measurements), and
+    ``measurement_log`` carries their per-server sample statistics when the
+    run had re-measurement configured.
+    """
 
     metrics: SimulationMetrics
     policy_name: str
@@ -58,6 +81,9 @@ class SimulationResult:
     final_cached_objects: int
     warmup_requests: int
     used_fast_path: bool = False
+    replay_path: str = "fast"
+    auxiliary_events_fired: int = 0
+    measurement_log: Optional[BandwidthMeasurementLog] = None
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten result and headline metrics into one dictionary."""
@@ -129,11 +155,42 @@ class ProxyCacheSimulator:
         (no auxiliary events) lets the replay use the fast path.
         """
 
+    def build_auxiliary_schedule(
+        self,
+        topology: DeliveryTopology,
+        estimator: Optional[PassiveEstimator],
+        measurement_log: Optional[BandwidthMeasurementLog],
+    ) -> AuxiliarySchedule:
+        """Expand the config's typed periodic events into a schedule.
+
+        Currently this covers periodic bandwidth re-measurement
+        (:attr:`~repro.sim.config.SimulationConfig.remeasurement`);
+        subclasses adding further *typed* event families extend this and
+        keep access to the columnar event path, whereas arbitrary engine
+        events go through :meth:`schedule_auxiliary_events` and force the
+        classic event-calendar path.
+        """
+        if self.config.remeasurement is None:
+            return AuxiliarySchedule()
+        trace = self.workload.trace
+        return AuxiliarySchedule(
+            build_remeasurement_events(
+                self.config.remeasurement,
+                topology,
+                estimator,
+                measurement_log,
+                trace_start=trace.start_time,
+                trace_end=trace.end_time,
+                base_seed=self.config.seed,
+            )
+        )
+
     def run(
         self,
         policy,
         topology: Optional[DeliveryTopology] = None,
         use_fast_path: Optional[bool] = None,
+        replay: Optional[str] = None,
     ) -> SimulationResult:
         """Run the simulation for one policy.
 
@@ -148,11 +205,20 @@ class ProxyCacheSimulator:
             compared on *identical* bandwidth assignments; when omitted a new
             topology is drawn from the config's seed.
         use_fast_path:
-            ``None`` (default) picks automatically: the fast path whenever no
-            auxiliary events are scheduled.  ``False`` forces the
-            event-calendar path; ``True`` forces the fast path and raises
+            Legacy boolean view of ``replay``: ``True`` maps to
+            ``replay="fast"``, ``False`` to ``replay="event"``.  Ignored
+            when ``replay`` is given.
+        replay:
+            Which replay loop to use — one of :data:`REPLAY_PATHS`.
+            ``None``/``"auto"`` (default) picks automatically: the fast
+            path when no auxiliary events exist, the columnar event path
+            when only *typed* periodic events are scheduled over a dense-id
+            columnar trace, the classic event-calendar path otherwise.
+            Forcing ``"fast"`` raises
             :class:`~repro.exceptions.SimulationError` if auxiliary events
-            would be dropped.  Both paths produce bit-identical metrics.
+            would be dropped; forcing ``"columnar-event"`` raises unless
+            the workload trace is dense columnar and no untyped engine
+            events are scheduled.  All paths produce bit-identical metrics.
         """
         rng = np.random.default_rng(self.config.seed)
         if topology is None:
@@ -167,6 +233,11 @@ class ProxyCacheSimulator:
         if self.config.bandwidth_knowledge is BandwidthKnowledge.PASSIVE:
             estimator = PassiveEstimator(smoothing=self.config.passive_smoothing)
 
+        measurement_log: Optional[BandwidthMeasurementLog] = None
+        if self.config.remeasurement is not None:
+            measurement_log = BandwidthMeasurementLog()
+        schedule = self.build_auxiliary_schedule(topology, estimator, measurement_log)
+
         trace = self.workload.trace
         total_requests = len(trace)
         warmup_cutoff = int(self.config.warmup_fraction * total_requests)
@@ -175,22 +246,34 @@ class ProxyCacheSimulator:
 
         engine = SimulationEngine()
         self.schedule_auxiliary_events(engine, topology, store, collector)
-        have_auxiliary = len(engine.queue) > 0
-        if use_fast_path is None:
-            fast = not have_auxiliary
-        elif use_fast_path and have_auxiliary:
-            raise SimulationError(
-                "use_fast_path=True but auxiliary events are scheduled; "
-                "the fast path would not dispatch them"
-            )
-        else:
-            fast = use_fast_path
+        have_hook_events = len(engine.queue) > 0
+        have_typed_events = bool(schedule)
+        dense_bound = (
+            _dense_id_bound(trace) if isinstance(trace, ColumnarTrace) else None
+        )
 
-        if fast:
+        mode = self._resolve_replay_path(
+            replay, use_fast_path, have_hook_events, have_typed_events, dense_bound
+        )
+
+        if mode == "fast":
             self._replay_fast(
                 policy, topology, store, collector, estimator, rng, warmup_cutoff
             )
+        elif mode == "columnar-event":
+            self._replay_events_columnar(
+                schedule,
+                policy,
+                topology,
+                store,
+                collector,
+                estimator,
+                rng,
+                warmup_cutoff,
+                dense_bound,
+            )
         else:
+            schedule.schedule_into(engine)
             self._replay_events(
                 engine, policy, topology, store, collector, estimator, rng, warmup_cutoff
             )
@@ -202,8 +285,50 @@ class ProxyCacheSimulator:
             final_cache_occupancy=store.occupancy,
             final_cached_objects=len(store),
             warmup_requests=collector.warmup_requests,
-            used_fast_path=fast,
+            used_fast_path=mode == "fast",
+            replay_path=mode,
+            auxiliary_events_fired=schedule.fired,
+            measurement_log=measurement_log,
         )
+
+    @staticmethod
+    def _resolve_replay_path(
+        replay: Optional[str],
+        use_fast_path: Optional[bool],
+        have_hook_events: bool,
+        have_typed_events: bool,
+        dense_bound: Optional[int],
+    ) -> str:
+        """Pick the replay loop from the request and the scheduled events."""
+        if replay is None:
+            replay = {None: "auto", True: "fast", False: "event"}[use_fast_path]
+        if replay not in REPLAY_PATHS:
+            raise SimulationError(
+                f"unknown replay path {replay!r}; expected one of {REPLAY_PATHS}"
+            )
+        if replay == "auto":
+            if have_hook_events:
+                return "event"
+            if have_typed_events:
+                return "columnar-event" if dense_bound is not None else "event"
+            return "fast"
+        if replay == "fast" and (have_hook_events or have_typed_events):
+            raise SimulationError(
+                "replay='fast' but auxiliary events are scheduled; "
+                "the fast path would not dispatch them"
+            )
+        if replay == "columnar-event":
+            if have_hook_events:
+                raise SimulationError(
+                    "replay='columnar-event' cannot dispatch untyped events "
+                    "from schedule_auxiliary_events; use replay='event'"
+                )
+            if dense_bound is None:
+                raise SimulationError(
+                    "replay='columnar-event' requires a dense-id ColumnarTrace "
+                    "workload; use replay='event' for this trace"
+                )
+        return replay
 
     # ------------------------------------------------------------------
     # The event-calendar replay path.
@@ -479,23 +604,55 @@ class ProxyCacheSimulator:
     ) -> None:
         """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
 
-        Performs the **same arithmetic in the same order** as
-        :meth:`_replay_fast` (and therefore as the event path) — the metric
-        results are bit-identical — but exploits what the columnar
-        representation makes possible:
+        This is :meth:`_replay_events_columnar` with an empty auxiliary
+        schedule: the event merge degenerates to one list-truthiness check
+        per request, so a single loop serves both the columnar fast path
+        and the columnar event path — one copy of the bit-identical
+        arithmetic to maintain instead of two.
+        """
+        self._replay_events_columnar(
+            AuxiliarySchedule(),
+            policy,
+            topology,
+            store,
+            collector,
+            estimator,
+            rng,
+            warmup_cutoff,
+            max_id,
+        )
 
-        * no ``Request`` boxing anywhere: the loop consumes the trace's
-          numpy columns through one batch ``tolist`` per column,
-        * every distinct object is resolved once up front and looked up by
-          list index (dense ids) instead of per-request dict probes,
-        * with a batch-equivalent variability model the per-request
-          observed bandwidth ``max(base * ratio, 1)`` is computed as one
-          vectorised numpy expression (elementwise IEEE-identical to the
-          scalar form),
-        * the replay is split at the warm-up cutoff into two loops, so the
-          per-request warm-up/measuring branches disappear and warm-up
-          requests skip the cache-occupancy read whose value they never
-          use (a pure read; the store is untouched by it).
+    # ------------------------------------------------------------------
+    # The columnar event path: array-native replay + auxiliary events.
+    # ------------------------------------------------------------------
+    def _replay_events_columnar(
+        self,
+        schedule: AuxiliarySchedule,
+        policy,
+        topology: DeliveryTopology,
+        store: CacheStore,
+        collector: MetricsCollector,
+        estimator: Optional[PassiveEstimator],
+        rng: np.random.Generator,
+        warmup_cutoff: int,
+        max_id: int,
+    ) -> None:
+        """Event-capable replay over a dense-id columnar trace.
+
+        Iterates the trace's numpy columns directly — no per-event
+        ``Request`` or ``Event`` boxing — while merging the typed auxiliary
+        events of ``schedule`` into the request stream by ``(time,
+        priority)``, exactly as the discrete-event engine orders them
+        (auxiliary priorities are non-zero by construction, so the merge is
+        never ambiguous).
+
+        The per-request arithmetic is operation-for-operation identical to
+        :meth:`_replay_fast` (and therefore to every other path): with no
+        auxiliary events scheduled the metrics are **bit-identical** to the
+        fast/columnar loops.  Auxiliary events draw from their own random
+        generators (see :mod:`repro.sim.events`), so the request stream's
+        pre-drawn bandwidth ratios stay valid even while events fire
+        between requests.
         """
         catalog = self.workload.catalog
         trace: ColumnarTrace = self.workload.trace
@@ -517,8 +674,7 @@ class ProxyCacheSimulator:
         ids_list = ids_array.tolist()
         times_list = trace.times_array.tolist()
 
-        # Resolve every distinct object once; ``entries`` is indexed by
-        # object id (dense, checked by the caller via _dense_id_bound).
+        # Resolve every distinct object once (dense ids, list-indexed).
         entries: List[Optional[tuple]] = [None] * (max_id + 1)
         for object_id in (np.unique(ids_array).tolist() if total else []):
             obj = catalog_get(object_id)
@@ -536,7 +692,7 @@ class ProxyCacheSimulator:
             )
 
         # Vectorised observed bandwidth when the variability model allows
-        # batched draws: max(base * ratio, 1.0) elementwise.
+        # batched draws (elementwise IEEE-identical to the scalar form).
         observed_seq: Optional[List[float]] = None
         if ratio_array is not None and total:
             base_lut = np.zeros(max_id + 1, dtype=np.float64)
@@ -547,32 +703,10 @@ class ProxyCacheSimulator:
             np.maximum(observed_array, 1.0, out=observed_array)
             observed_seq = observed_array.tolist()
 
+        aux_heap = schedule.begin()
+        fire_before = schedule.fire_before
+
         measuring = collector.measuring
-        warmup_end = 0 if measuring else min(warmup_cutoff, total)
-
-        # ---- Warm-up phase: feed the policy (and estimator), record
-        # nothing.  The delivery-outcome arithmetic and the cache-occupancy
-        # read are skipped entirely; neither has side effects.
-        for index, object_id in enumerate(ids_list[:warmup_end]):
-            entry = entries[object_id]
-            obj, base_bw, _, _, _, _, _, server_id, path = entry
-            if observed_seq is not None:
-                observed = observed_seq[index]
-            else:
-                observed = path.observed_bandwidth(rng)
-            if estimator_estimate is not None:
-                believed = estimator_estimate(server_id)
-            else:
-                believed = base_bw
-            policy_on_request(obj, believed, times_list[index], store)
-            if estimator_observe is not None:
-                estimator_observe(server_id, observed)
-            if verify_store and not verify_consistency():
-                raise AssertionError(
-                    "cache store accounting became inconsistent "
-                    f"after request {index} (object {object_id})"
-                )
-
         m_requests = 0
         m_bytes_cache = 0.0
         m_bytes_server = 0.0
@@ -583,21 +717,25 @@ class ProxyCacheSimulator:
         m_immediate = 0
         m_delayed = 0
         m_delay_delayed = 0.0
+        warmup_count = 0
         hits_by_object: Dict[int, int] = {}
 
-        # ---- Measurement phase: identical per-request arithmetic to
-        # _replay_fast's measuring branch, with the phase-local sequences
-        # sliced so no per-request index arithmetic is needed.
-        times_measure = times_list[warmup_end:]
-        observed_measure = (
-            observed_seq[warmup_end:] if observed_seq is not None else None
-        )
-        for offset, object_id in enumerate(ids_list[warmup_end:]):
+        for index, object_id in enumerate(ids_list):
+            req_time = times_list[index]
+            # Fire every auxiliary event the engine would have run before
+            # this request (strictly earlier time, or same time with a
+            # negative priority).  The guard keeps the empty-schedule case
+            # — the columnar fast path — at one truthiness check.
+            if aux_heap and (aux_heap[0][0], aux_heap[0][1]) < (req_time, 0):
+                fire_before(req_time)
+            if index == warmup_cutoff:
+                measuring = True
+
             entry = entries[object_id]
             obj, base_bw, size, duration, bitrate, quantum, value, server_id, path = entry
 
-            if observed_measure is not None:
-                observed = observed_measure[offset]
+            if observed_seq is not None:
+                observed = observed_seq[index]
             else:
                 observed = path.observed_bandwidth(rng)
 
@@ -606,54 +744,61 @@ class ProxyCacheSimulator:
             else:
                 believed = base_bw
 
-            cached = store_cached(object_id)
+            if measuring:
+                cached = store_cached(object_id)
 
-            # DeliverySession.outcome(), inlined with identical
-            # floating-point operation order.
-            if cached > size:
-                cached = size
-            missing = size - duration * observed - cached
-            if missing <= 0:
-                delay = 0.0
-            elif observed <= 0:
-                delay = inf
-            else:
-                delay = missing / observed
-            supported_rate = cached / duration + (
-                observed if observed > 0.0 else 0.0
-            )
-            fraction = supported_rate / bitrate
-            if fraction >= 1.0:
-                quality = 1.0
-            else:
-                quality = int(fraction / quantum + 1e-9) * quantum
+                # DeliverySession.outcome(), inlined with identical
+                # floating-point operation order.
+                if cached > size:
+                    cached = size
+                missing = size - duration * observed - cached
+                if missing <= 0:
+                    delay = 0.0
+                elif observed <= 0:
+                    delay = inf
+                else:
+                    delay = missing / observed
+                supported_rate = cached / duration + (
+                    observed if observed > 0.0 else 0.0
+                )
+                fraction = supported_rate / bitrate
+                if fraction >= 1.0:
+                    quality = 1.0
+                else:
+                    quality = int(fraction / quantum + 1e-9) * quantum
 
-            # MetricsCollector.record(), inlined in the same order.
-            m_requests += 1
-            m_bytes_cache += cached
-            m_bytes_server += size - cached
-            m_delay += delay
-            m_quality += quality
-            if delay <= 0.0:
-                m_value += value
-                m_immediate += 1
+                # MetricsCollector.record(), inlined in the same order.
+                m_requests += 1
+                m_bytes_cache += cached
+                m_bytes_server += size - cached
+                m_delay += delay
+                m_quality += quality
+                if delay <= 0.0:
+                    m_value += value
+                    m_immediate += 1
+                else:
+                    m_delayed += 1
+                    m_delay_delayed += delay
+                if cached > 0:
+                    m_hits += 1
+                    hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
             else:
-                m_delayed += 1
-                m_delay_delayed += delay
-            if cached > 0:
-                m_hits += 1
-                hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                warmup_count += 1
 
-            policy_on_request(obj, believed, times_measure[offset], store)
+            policy_on_request(obj, believed, req_time, store)
             if estimator_observe is not None:
                 estimator_observe(server_id, observed)
             if verify_store and not verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "
-                    f"after request {warmup_end + offset} (object {object_id})"
+                    f"after request {index} (object {object_id})"
                 )
 
-        collector.measuring = measuring or total > warmup_end
+        # Auxiliary events scheduled after the last request still fire, just
+        # as the engine would have drained them.
+        schedule.drain()
+
+        collector.measuring = measuring
         collector.absorb(
             requests=m_requests,
             bytes_from_cache=m_bytes_cache,
@@ -665,6 +810,6 @@ class ProxyCacheSimulator:
             immediate=m_immediate,
             delayed=m_delayed,
             delay_sum_delayed=m_delay_delayed,
-            warmup_requests=warmup_end,
+            warmup_requests=warmup_count,
             per_object_hits=hits_by_object,
         )

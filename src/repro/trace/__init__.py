@@ -5,7 +5,8 @@ Three modules:
 
 * :mod:`repro.trace.columnar` — :class:`ColumnarTrace`, a request trace
   stored as parallel numpy arrays with the full ``RequestTrace`` protocol,
-  zero-copy slicing, and CSV/``.npz`` round-trips,
+  zero-copy slicing, CSV/``.npz`` round-trips, and multi-day segment
+  stitching (:meth:`ColumnarTrace.concat`, ``repro ingest --append``),
 * :mod:`repro.trace.shm` — publish a columnar trace once into POSIX shared
   memory and attach zero-copy from worker processes
   (used by :mod:`repro.analysis.parallel` to stop re-pickling traces),

@@ -22,7 +22,7 @@ from __future__ import annotations
 import csv
 from array import array
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -227,6 +227,76 @@ class ColumnarTrace:
         if isinstance(trace, cls):
             return trace
         return cls.from_request_trace(trace)
+
+    @classmethod
+    def concat(
+        cls,
+        segments: Sequence[Union["ColumnarTrace", RequestTrace]],
+        *,
+        rebase: bool = False,
+        gap: float = 0.0,
+    ) -> "ColumnarTrace":
+        """Stitch trace segments into one trace (multi-day log studies).
+
+        Parameters
+        ----------
+        segments:
+            The traces to concatenate, in chronological order.  Each may be
+            columnar or object-per-request; each must itself be
+            time-ordered.  An empty sequence yields an empty trace.
+        rebase:
+            With ``False`` (default) the segments' timestamps are taken as
+            a shared clock (e.g. epoch seconds) and concatenation requires
+            each segment to start no earlier than its predecessor ends —
+            violations raise :class:`~repro.exceptions.ConfigurationError`
+            naming the offending boundary.  With ``True`` each segment
+            after the first is shifted so it begins ``gap`` seconds after
+            its predecessor's last request (intra-segment spacing is
+            preserved exactly); use this to stitch rolling logs whose
+            timestamps were re-based to zero per segment, as
+            ``repro ingest --append`` does.
+        gap:
+            Idle seconds inserted between segments when ``rebase=True``
+            (must be non-negative; ignored otherwise).
+
+        Returns a new heap-backed trace (the result never aliases the
+        inputs' buffers).  ``concat`` then ``split``/slicing round-trips
+        losslessly; see ``docs/traces.md`` for a worked multi-day example.
+        """
+        if gap < 0:
+            raise ConfigurationError(f"gap must be non-negative, got {gap}")
+        columnar = [cls.from_trace(segment) for segment in segments]
+        if not any(len(segment) for segment in columnar):
+            return cls(
+                np.empty(0, np.float64), np.empty(0, np.int64), np.empty(0, np.int32)
+            )
+        times_parts: List[np.ndarray] = []
+        kept: List["ColumnarTrace"] = []
+        previous_end: Optional[float] = None
+        for index, segment in enumerate(columnar):
+            if not len(segment):
+                continue  # empty segments contribute nothing, shift nothing
+            times = segment.times_array
+            if rebase and previous_end is not None:
+                # Two steps so the boundary is exact: (t - t[0]) is 0.0 for
+                # the first element, and adding the target start keeps the
+                # stitched clock non-decreasing to the last ulp.
+                times = (times - times[0]) + (previous_end + gap)
+            elif previous_end is not None and times[0] < previous_end:
+                raise ConfigurationError(
+                    f"segment {index} starts at {times[0]:g}, before the "
+                    f"previous segment ends at {previous_end:g}; pass "
+                    "rebase=True to shift segments into sequence"
+                )
+            times_parts.append(times)
+            kept.append(segment)
+            previous_end = float(times[-1])
+        return cls(
+            np.concatenate(times_parts),
+            np.concatenate([segment.object_ids_array for segment in kept]),
+            np.concatenate([segment.client_ids_array for segment in kept]),
+            validate=False,
+        )
 
     # ------------------------------------------------------------------
     # Serialisation: CSV (RequestTrace-compatible) and binary .npz.

@@ -1,0 +1,116 @@
+"""The documentation suite stays honest: links resolve, the quickstart
+runs, and the public API is documented.
+
+These mirror the CI docs job (``make docs-check``) inside tier-1 so a
+broken link or a stale README snippet fails locally too, and they enforce
+the docstring contract on the ``repro.trace`` / ``repro.sim`` public API —
+every exported symbol must be usable through ``help()``.
+"""
+
+import importlib
+import importlib.util
+import inspect
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    return _load_check_docs()
+
+
+def test_required_documents_exist():
+    for relative in (
+        "README.md",
+        "docs/architecture.md",
+        "docs/events.md",
+        "docs/performance.md",
+        "docs/traces.md",
+    ):
+        assert (REPO_ROOT / relative).exists(), f"missing {relative}"
+
+
+def test_markdown_links_resolve(check_docs):
+    files = check_docs.iter_markdown_files()
+    assert len(files) >= 5
+    problems = check_docs.check_links(files)
+    assert problems == []
+
+
+def test_readme_quickstart_runs_as_is(check_docs):
+    snippet = check_docs.extract_quickstart()
+    assert snippet is not None, "README.md lost its ```python quickstart block"
+    code, output = check_docs.run_quickstart(snippet)
+    assert code == 0, f"README quickstart failed:\n{output}"
+    # The snippet prints one metrics line per policy it compares.
+    assert "traffic_reduction" in output
+
+
+def test_link_checker_flags_broken_links(check_docs, tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[ok](real.md)\n[missing](nowhere.md)\n[web](https://example.com)\n"
+        "```\n[fenced](also_nowhere.md)\n```\n"
+    )
+    (tmp_path / "real.md").write_text("hi")
+    problems = check_docs.check_links([page])
+    assert len(problems) == 1
+    assert "nowhere.md" in problems[0]
+
+
+# ----------------------------------------------------------------------
+# Docstring pass: repro.trace and repro.sim are help()-complete.
+# ----------------------------------------------------------------------
+DOCUMENTED_PACKAGES = ("repro.trace", "repro.sim")
+
+
+def _exported_symbols(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__, f"{package_name} has no module docstring"
+    for name in package.__all__:
+        yield package_name, name, getattr(package, name)
+
+
+@pytest.mark.parametrize("package_name", DOCUMENTED_PACKAGES)
+def test_public_api_is_documented(package_name):
+    undocumented = []
+    for owner, name, symbol in _exported_symbols(package_name):
+        if not inspect.isclass(symbol) and not inspect.isfunction(symbol):
+            continue  # constants (tuples, dicts) document themselves in the module
+        if not inspect.getdoc(symbol):
+            undocumented.append(f"{owner}.{name}")
+            continue
+        if inspect.isclass(symbol):
+            for method_name, method in vars(symbol).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not inspect.getdoc(method):
+                    undocumented.append(f"{owner}.{name}.{method_name}")
+    assert undocumented == [], f"missing docstrings: {undocumented}"
+
+
+@pytest.mark.parametrize("package_name", DOCUMENTED_PACKAGES)
+def test_submodules_have_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    package_dir = Path(package.__file__).parent
+    for module_file in package_dir.glob("*.py"):
+        module_name = (
+            package_name
+            if module_file.stem == "__init__"
+            else f"{package_name}.{module_file.stem}"
+        )
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} has no module docstring"

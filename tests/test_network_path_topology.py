@@ -139,3 +139,21 @@ class TestDeliveryTopology:
             rng=rng,
         )
         assert all(path.base_bandwidth == pytest.approx(10.0) for path in topology.paths)
+
+
+class TestSampleObserved:
+    def test_batch_matches_consecutive_scalar_draws(self):
+        path = NetworkPath(0, 80.0, variability=LognormalRatioVariability(1.2))
+        batch = path.sample_observed(np.random.default_rng(42), size=64)
+        scalar_rng = np.random.default_rng(42)
+        scalars = [path.observed_bandwidth(scalar_rng) for _ in range(64)]
+        assert batch.tolist() == scalars  # elementwise IEEE-identical
+
+    def test_floor_and_shapes(self):
+        path = NetworkPath(0, 1e-6 + 1.0)  # constant variability, near the floor
+        samples = path.sample_observed(np.random.default_rng(0), size=5)
+        assert samples.shape == (5,)
+        assert np.all(samples >= 1.0)
+        assert path.sample_observed(np.random.default_rng(0), size=0).size == 0
+        with pytest.raises(ConfigurationError):
+            path.sample_observed(np.random.default_rng(0), size=-1)
