@@ -29,6 +29,6 @@ ingest-demo:
 	$(PYTHON) -m repro ingest examples/data/sample_clf.log
 
 ## Documentation gate: link-check README.md + docs/*.md and execute the
-## README quickstart snippet as a smoke test.
+## README quickstart and docs/clients.md worked-example snippets.
 docs-check:
 	$(PYTHON) scripts/check_docs.py

@@ -10,9 +10,11 @@ event path** (the calendar iterating the numpy columns directly, with and
 without periodic bandwidth re-measurement) — and the requests/second of
 all of them, the speedups, the re-measurement overhead ratio, and the
 policy heap's peak size are written to ``BENCH_perf.json`` at the
-repository root.  A second section records the parallel-dispatch overhead
-of shipping the workload to worker processes via shared memory versus
-pickling.  That file is the
+repository root.  A ``client_clouds`` section records the cost of
+per-client last-mile bandwidth composition (``docs/clients.md``) against
+the same replay with the hop unmodeled, and a ``dispatch`` section the
+parallel-dispatch overhead of shipping the workload to worker processes
+via shared memory versus pickling.  That file is the
 repo's performance trajectory: the ``smoke`` section it records is the
 baseline the quick regression gate (:func:`test_throughput_smoke_regression`,
 ``make bench-smoke``) compares against.
@@ -33,8 +35,9 @@ import pytest
 from repro.analysis.experiments import build_workload
 from repro.analysis.parallel import replication_jobs, run_simulation_jobs
 from repro.core.policies import PolicySpec, make_policy
+from repro.network.distributions import NLANRBandwidthDistribution
 from repro.network.variability import NLANRRatioVariability
-from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.events import RemeasurementConfig
 from repro.sim.simulator import ProxyCacheSimulator
 
@@ -61,6 +64,10 @@ SMOKE_REGRESSION_TOLERANCE = 0.30
 #: Jobs and workers used by the dispatch-overhead (shm vs pickle) section.
 DISPATCH_RUNS = 2
 DISPATCH_WORKERS = 2
+
+#: Client population / last-mile groups of the per-client-draw section.
+CLIENT_COUNT = 256
+CLIENT_GROUPS = 64
 
 
 def _build_simulator(scale: float, columnar: bool = False):
@@ -244,6 +251,49 @@ def test_throughput_full_200k():
     remeasure_rps = requests / remeasure_elapsed
     remeasure_overhead = remeasure_elapsed / passive_elapsed
 
+    # Per-client last-mile draws: replay a 200k-request multi-client trace
+    # on the columnar fast path with a heterogeneous client cloud attached
+    # vs the same workload with the hop unmodeled.  The overhead isolates
+    # the composition machinery (one batched last-mile draw + two
+    # per-request bottleneck compares); the client column itself is free.
+    hetero_workload = build_workload(
+        scale=FULL_SCALE, seed=BENCH_SEED, columnar=True, num_clients=CLIENT_COUNT
+    )
+    plain_config = SimulationConfig(
+        cache_size_gb=BENCH_CACHE_GB,
+        variability=NLANRRatioVariability(),
+        seed=BENCH_SEED,
+    )
+    cloud_config = SimulationConfig(
+        cache_size_gb=BENCH_CACHE_GB,
+        variability=NLANRRatioVariability(),
+        client_clouds=ClientCloudConfig(
+            groups=CLIENT_GROUPS, distribution=NLANRBandwidthDistribution()
+        ),
+        seed=BENCH_SEED,
+    )
+    plain_simulator = ProxyCacheSimulator(hetero_workload, plain_config)
+    cloud_simulator = ProxyCacheSimulator(hetero_workload, cloud_config)
+    plain_topology = plain_simulator.build_topology(np.random.default_rng(BENCH_SEED))
+    cloud_topology = cloud_simulator.build_topology(np.random.default_rng(BENCH_SEED))
+    cloud_best, cloud_ratio = _paired_measurement(
+        [
+            ("uniform", plain_simulator, plain_topology),
+            ("clouded", cloud_simulator, cloud_topology),
+        ],
+        rounds=3,
+    )
+    client_overhead = cloud_ratio("clouded", "uniform")
+    clouded_rps = requests / cloud_best["clouded"]
+    # The composition is a constant-factor add-on to the columnar loop;
+    # anything past 2x would mean the per-client machinery regressed from
+    # "two compares per request" to real work.
+    assert client_overhead <= 2.0, (
+        f"per-client last-mile composition costs {client_overhead:.2f}x "
+        f"({clouded_rps:,.0f} req/s with clouds vs "
+        f"{requests / cloud_best['uniform']:,.0f} without)"
+    )
+
     # Parallel-dispatch overhead: fan the same replication grid out over a
     # small pool with the trace shipped via shared memory vs pickled into
     # the initializer.  Results must be identical; only the transport cost
@@ -306,6 +356,15 @@ def test_throughput_full_200k():
                         requests / passive_elapsed, 1
                     ),
                     "overhead_ratio_vs_passive": round(remeasure_overhead, 3),
+                },
+                "client_clouds": {
+                    "clients": CLIENT_COUNT,
+                    "groups": CLIENT_GROUPS,
+                    "requests_per_sec": round(clouded_rps, 1),
+                    "uniform_baseline_requests_per_sec": round(
+                        requests / cloud_best["uniform"], 1
+                    ),
+                    "overhead_ratio_vs_uniform": round(client_overhead, 3),
                 },
                 "heap": {
                     "peak_size": heap_stats["peak_size"],

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Documentation checks: markdown link integrity and the README quickstart.
+"""Documentation checks: markdown link integrity and executable snippets.
 
 Two checks, both run by ``make docs-check`` and the CI docs job (and, in
 library form, by ``tests/test_docs.py``):
@@ -8,9 +8,10 @@ library form, by ``tests/test_docs.py``):
   ``README.md`` and ``docs/*.md`` that points at a local path must resolve
   to an existing file or directory (anchors are stripped; ``http(s)``/
   ``mailto`` targets are skipped — CI must not flake on the network).
-* **Quickstart check** — the first ``python`` code block in ``README.md``
-  must run as-is (with ``src/`` on ``PYTHONPATH``), so the very first thing
-  a new user copies cannot be stale.
+* **Snippet check** — the first ``python`` code block of every page listed
+  in :data:`EXECUTABLE_SNIPPETS` (the README quickstart and the
+  ``docs/clients.md`` worked example) must run as-is (with ``src/`` on
+  ``PYTHONPATH``), so the code a reader copies cannot be stale.
 
 Exit status is non-zero when any check fails; failures are listed one per
 line as ``file:line: message``.
@@ -34,6 +35,9 @@ _LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s
 
 #: Targets that are not local paths.
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Pages whose first ```python block must execute cleanly, repo-relative.
+EXECUTABLE_SNIPPETS = ("README.md", "docs/clients.md")
 
 
 def iter_markdown_files(root: Path = REPO_ROOT) -> List[Path]:
@@ -78,22 +82,23 @@ def check_links(files: Optional[List[Path]] = None) -> List[str]:
     return problems
 
 
-def extract_quickstart(readme: Optional[Path] = None) -> Optional[str]:
-    """The first ``python`` fenced code block of the README, or ``None``."""
-    readme = readme or REPO_ROOT / "README.md"
-    if not readme.exists():
+def extract_python_block(page: Path) -> Optional[str]:
+    """The first ``python`` fenced code block of a markdown page, or ``None``."""
+    if not page.exists():
         return None
-    match = re.search(r"```python\n(.*?)```", readme.read_text(), flags=re.S)
+    match = re.search(r"```python\n(.*?)```", page.read_text(), flags=re.S)
     return match.group(1) if match else None
 
 
-def run_quickstart(snippet: Optional[str] = None) -> Tuple[int, str]:
-    """Execute the README quickstart snippet; return (exit code, output)."""
-    snippet = snippet if snippet is not None else extract_quickstart()
-    if snippet is None:
-        return 1, "README.md has no ```python quickstart block"
+def extract_quickstart(readme: Optional[Path] = None) -> Optional[str]:
+    """The first ``python`` fenced code block of the README, or ``None``."""
+    return extract_python_block(readme or REPO_ROOT / "README.md")
+
+
+def run_snippet(snippet: str) -> Tuple[int, str]:
+    """Execute one extracted snippet; return (exit code, output)."""
     with tempfile.NamedTemporaryFile(
-        "w", suffix="_quickstart.py", delete=False
+        "w", suffix="_snippet.py", delete=False
     ) as handle:
         handle.write(snippet)
         script = handle.name
@@ -114,12 +119,38 @@ def run_quickstart(snippet: Optional[str] = None) -> Tuple[int, str]:
     return completed.returncode, completed.stdout + completed.stderr
 
 
+def run_quickstart(snippet: Optional[str] = None) -> Tuple[int, str]:
+    """Execute the README quickstart snippet; return (exit code, output)."""
+    snippet = snippet if snippet is not None else extract_quickstart()
+    if snippet is None:
+        return 1, "README.md has no ```python quickstart block"
+    return run_snippet(snippet)
+
+
+def run_executable_snippets() -> List[Tuple[str, int, str]]:
+    """Run every page of :data:`EXECUTABLE_SNIPPETS`.
+
+    Returns ``(page, exit code, output)`` per page; a page without a
+    ``python`` block counts as a failure — losing the block *is* the drift
+    the check exists to catch.
+    """
+    outcomes: List[Tuple[str, int, str]] = []
+    for relative in EXECUTABLE_SNIPPETS:
+        snippet = extract_python_block(REPO_ROOT / relative)
+        if snippet is None:
+            outcomes.append((relative, 1, f"{relative} has no ```python block"))
+            continue
+        code, output = run_snippet(snippet)
+        outcomes.append((relative, code, output))
+    return outcomes
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--links-only",
         action="store_true",
-        help="skip executing the README quickstart snippet",
+        help="skip executing the documentation code snippets",
     )
     args = parser.parse_args(argv)
 
@@ -131,13 +162,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     status = 1 if problems else 0
 
     if not args.links_only:
-        code, output = run_quickstart()
-        if code != 0:
-            print("quickstart check: FAILED")
-            print(output)
-            status = 1
-        else:
-            print("quickstart check: ok")
+        for page, code, output in run_executable_snippets():
+            if code != 0:
+                print(f"snippet check ({page}): FAILED")
+                print(output)
+                status = 1
+            else:
+                print(f"snippet check ({page}): ok")
     return status
 
 

@@ -62,6 +62,7 @@ from repro.network import (
 )
 from repro.sim import (
     BandwidthKnowledge,
+    ClientCloudConfig,
     ProxyCacheSimulator,
     RemeasurementConfig,
     SimulationConfig,
@@ -90,6 +91,7 @@ __all__ = [
     "CacheStore",
     "CapacityError",
     "Catalog",
+    "ClientCloudConfig",
     "ColumnarTrace",
     "ConfigurationError",
     "ConstantVariability",

@@ -97,7 +97,7 @@ def render_experiment(result: ExperimentResult) -> str:
             lines.append(format_sweep_table(sweep, metric_name))
 
     sweeps_by_key = None
-    for key in ("sweeps_by_alpha", "sweeps_by_e"):
+    for key in ("sweeps_by_alpha", "sweeps_by_e", "sweeps_by_setting"):
         if key in result.data:
             sweeps_by_key = (key, result.data[key])
     if sweeps_by_key is not None:

@@ -14,25 +14,33 @@ Three sub-commands cover the common uses:
 
 ``repro-sim run`` also exposes the bandwidth-knowledge model:
 ``--knowledge passive`` switches policies from oracle bandwidth to the
-passive estimator, and ``--remeasure-every SECONDS`` adds periodic
-bandwidth re-measurement between requests (see ``docs/events.md``).
+passive estimator, ``--remeasure-every SECONDS`` adds periodic bandwidth
+re-measurement between requests, and ``--reactive-threshold FRACTION``
+re-keys the policy heap the moment a re-measured estimate shifts (see
+``docs/events.md``).  ``--client-clouds GROUPS`` (on ``run`` and on
+``ingest --compare``) models per-client last-mile bandwidth — one
+cache-to-client path per client group, homogeneous with
+``--client-bandwidth`` or NLANR-heterogeneous by default (see
+``docs/clients.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis import experiments as exp
 from repro.analysis.report import render_experiment
 from repro.core.policies import PolicySpec, make_policy
+from repro.network.distributions import NLANRBandwidthDistribution
 from repro.network.variability import (
     ConstantVariability,
     MeasuredPathVariability,
     NLANRRatioVariability,
 )
-from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.events import RemeasurementConfig
 from repro.sim.simulator import ProxyCacheSimulator
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
@@ -50,6 +58,7 @@ EXPERIMENTS: Dict[str, Callable[..., exp.ExperimentResult]] = {
     "fig10": exp.experiment_fig10_value_constant,
     "fig11": exp.experiment_fig11_value_variable,
     "fig12": exp.experiment_fig12_value_estimator,
+    "hetero": exp.experiment_client_heterogeneity,
     "tab1": exp.experiment_table1_workload,
 }
 
@@ -83,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="periodically re-measure every path's bandwidth between "
                           "requests on this cadence (feeds the passive estimator; "
                           "implies the event-capable replay path)")
+    run.add_argument("--reactive-threshold", type=float, default=None, metavar="FRACTION",
+                     help="re-key the policy's heap entries as soon as a re-measured "
+                          "path estimate shifts by more than this fraction "
+                          "(requires --knowledge passive and --remeasure-every; "
+                          "see docs/events.md)")
+    run.add_argument("--client-clouds", type=int, default=None, metavar="GROUPS",
+                     help="model per-client last-mile bandwidth: the workload gets "
+                          "this many distinct clients, hashed into as many last-mile "
+                          "groups, each with its own cache-to-client path "
+                          "(see docs/clients.md)")
+    run.add_argument("--client-bandwidth", type=float, default=None, metavar="KBPS",
+                     help="homogeneous last-mile base bandwidth for --client-clouds; "
+                          "default draws one base per group from the NLANR "
+                          "distribution (heterogeneous clouds)")
     run.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser(
@@ -122,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated policies for --compare")
     ingest.add_argument("--cache-gb", type=float, default=None,
                         help="cache size for --compare (default: 10%% of unique bytes)")
+    ingest.add_argument("--client-clouds", type=int, default=None, metavar="GROUPS",
+                        help="for --compare: hash the log's real client addresses "
+                             "into this many last-mile groups, each with its own "
+                             "cache-to-client path (see docs/clients.md)")
+    ingest.add_argument("--client-bandwidth", type=float, default=None, metavar="KBPS",
+                        help="homogeneous last-mile base bandwidth for "
+                             "--client-clouds; default draws per group from the "
+                             "NLANR distribution")
     ingest.add_argument("--runs", type=int, default=1,
                         help="runs to average for --compare")
     ingest.add_argument("--jobs", "-j", type=int, default=1,
@@ -130,10 +161,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _client_cloud_config(args: argparse.Namespace) -> Optional[ClientCloudConfig]:
+    """Build a :class:`ClientCloudConfig` from the shared CLI flags."""
+    if args.client_clouds is None:
+        if args.client_bandwidth is not None:
+            print("--client-bandwidth requires --client-clouds", file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    if args.client_bandwidth is not None:
+        return ClientCloudConfig(
+            groups=args.client_clouds, bandwidth=args.client_bandwidth
+        )
+    return ClientCloudConfig(
+        groups=args.client_clouds, distribution=NLANRBandwidthDistribution()
+    )
+
+
 def _run_single(args: argparse.Namespace) -> int:
     workload_config = WorkloadConfig(seed=args.seed)
     if args.scale != 1.0:
         workload_config = workload_config.scaled(args.scale)
+    client_clouds = _client_cloud_config(args)
+    if client_clouds is not None:
+        # One distinct client per last-mile group keeps the CLI surface
+        # simple; the library supports many clients per group.
+        workload_config = replace(workload_config, num_clients=client_clouds.groups)
     # Columnar workload: metrics are bit-identical to the object trace, the
     # replay skips Request boxing, and re-measurement runs take the columnar
     # event path instead of the classic calendar.
@@ -146,6 +198,8 @@ def _run_single(args: argparse.Namespace) -> int:
         variability=VARIABILITY_MODELS[args.variability](),
         bandwidth_knowledge=BandwidthKnowledge(args.knowledge),
         remeasurement=remeasurement,
+        client_clouds=client_clouds,
+        reactive_threshold=args.reactive_threshold,
         seed=args.seed,
     )
     policy = make_policy(args.policy, estimator_e=args.estimator_e)
@@ -157,6 +211,17 @@ def _run_single(args: argparse.Namespace) -> int:
     if remeasurement is not None:
         print(f"bandwidth re-measurements: {result.auxiliary_events_fired} "
               f"(every {args.remeasure_every:g} s per path)")
+    if client_clouds is not None:
+        mode = (
+            f"homogeneous {args.client_bandwidth:g} KB/s"
+            if args.client_bandwidth is not None
+            else "NLANR-distributed"
+        )
+        print(f"client clouds: {client_clouds.groups} last-mile groups ({mode})")
+    if args.reactive_threshold is not None:
+        print(f"reactive re-keying: {result.reactive_shifts} estimate shifts "
+              f"re-keyed {result.reactive_rekeys} heap entries "
+              f"(threshold {args.reactive_threshold:g})")
     for key, value in result.metrics.as_dict().items():
         print(f"{key}: {value:.6g}")
     return 0
@@ -186,6 +251,14 @@ def _run_ingest(args: argparse.Namespace) -> int:
     if args.append and not args.out:
         print("--append requires --out", file=sys.stderr)
         return 2
+    # Validate the shared client-cloud flags up front (the bandwidth-
+    # without-groups error in particular), and be loud about the one case
+    # where they would otherwise be silently ignored.
+    client_clouds = _client_cloud_config(args)
+    if client_clouds is not None and not args.compare:
+        print("note: --client-clouds only affects --compare; the archived "
+              "trace always keeps the per-client ids for later runs",
+              file=sys.stderr)
 
     methods = None
     if args.methods and args.methods.strip() != "*":
@@ -212,16 +285,41 @@ def _run_ingest(args: argparse.Namespace) -> int:
         from repro.trace.columnar import ColumnarTrace
 
         out_path = Path(args.out)
-        # Object ids are per-ingest first-seen indices, so rolling segments
-        # only share an id space through the URL map archived next to the
-        # trace; --append remaps the new segment through it.
+        # Object and client ids are per-ingest first-seen indices, so
+        # rolling segments only share an id space through the maps archived
+        # next to the trace; --append remaps the new segment through them.
+        # Sidecar schema: {"urls": {url: id}, "clients": {address: id}}
+        # (legacy sidecars held the flat url map only — still readable, but
+        # client ids then cannot be aligned across segments).
         sidecar = out_path.with_suffix(".urls.json")
         if args.append and out_path.exists():
             existing = ColumnarTrace.from_npz(out_path)
             new_trace = result.trace
             if sidecar.exists():
-                merged = json.loads(sidecar.read_text())
+                stored = json.loads(sidecar.read_text())
+                if "urls" in stored and isinstance(stored["urls"], dict):
+                    merged = stored["urls"]
+                    merged_clients = stored.get("clients")
+                else:
+                    merged = stored  # legacy flat url map
+                    merged_clients = None
+                if merged_clients is None:
+                    merged_clients = {}
+                    print(f"warning: {sidecar.name} has no client map (legacy "
+                          "sidecar); client ids of the archived segments "
+                          "cannot be aligned — the appended segment's clients "
+                          "are renumbered after the archive's "
+                          f"{int(existing.client_ids_array.max(initial=-1)) + 1} "
+                          "observed ids",
+                          file=sys.stderr)
+                    # Renumber past the archive's id space so the new
+                    # segment's clients at least never collide with it.
+                    next_free = int(existing.client_ids_array.max(initial=-1)) + 1
+                    merged_clients = {
+                        f"unaligned-{index}": index for index in range(next_free)
+                    }
                 archived_count = len(merged)
+                archived_clients = len(merged_clients)
                 lut = np.empty(max(len(result.url_ids), 1), dtype=np.int64)
                 for url, segment_id in result.url_ids.items():
                     merged_id = merged.get(url)
@@ -229,17 +327,26 @@ def _run_ingest(args: argparse.Namespace) -> int:
                         merged_id = len(merged)
                         merged[url] = merged_id
                     lut[segment_id] = merged_id
+                client_lut = np.empty(max(len(result.client_ids), 1), dtype=np.int32)
+                for client, segment_id in result.client_ids.items():
+                    merged_id = merged_clients.get(client)
+                    if merged_id is None:
+                        merged_id = len(merged_clients)
+                        merged_clients[client] = merged_id
+                    client_lut[segment_id] = merged_id
                 new_trace = ColumnarTrace(
                     new_trace.times_array,
                     lut[new_trace.object_ids_array],
-                    new_trace.client_ids_array,
+                    client_lut[new_trace.client_ids_array],
                     validate=False,
                 )
             else:
                 merged = None
+                merged_clients = None
                 print(f"warning: {sidecar.name} not found next to the archive; "
-                      "appending with this ingest's first-seen object ids, "
-                      "which may not align with the archived segments",
+                      "appending with this ingest's first-seen object and "
+                      "client ids, which may not align with the archived "
+                      "segments",
                       file=sys.stderr)
             stitched = ColumnarTrace.concat([existing, new_trace], rebase=True)
             # Archive first, sidecar second: a failure in between leaves a
@@ -247,14 +354,20 @@ def _run_ingest(args: argparse.Namespace) -> int:
             # re-appending) rather than ids the archive never received.
             stitched.to_npz(out_path)
             if merged is not None:
-                sidecar.write_text(json.dumps(merged))
+                sidecar.write_text(
+                    json.dumps({"urls": merged, "clients": merged_clients})
+                )
                 print(f"url map: {archived_count} archived urls, "
                       f"{len(merged) - archived_count} new ({sidecar.name})")
+                print(f"client map: {archived_clients} archived clients, "
+                      f"{len(merged_clients) - archived_clients} new")
             print(f"trace appended: {args.out} ({len(existing)} archived + "
                   f"{len(new_trace)} new = {len(stitched)} requests)")
         else:
             result.trace.to_npz(out_path)
-            sidecar.write_text(json.dumps(result.url_ids))
+            sidecar.write_text(
+                json.dumps({"urls": result.url_ids, "clients": result.client_ids})
+            )
             print(f"trace written: {args.out} ({len(result.trace)} requests)")
 
     if args.compare:
@@ -268,7 +381,12 @@ def _run_ingest(args: argparse.Namespace) -> int:
         cache_gb = args.cache_gb
         if cache_gb is None:
             cache_gb = max(0.1 * workload.catalog.total_size_gb, 1e-6)
-        config = SimulationConfig(cache_size_gb=cache_gb, seed=args.seed)
+        config = SimulationConfig(
+            cache_size_gb=cache_gb, client_clouds=client_clouds, seed=args.seed
+        )
+        if client_clouds is not None:
+            print(f"\nclient clouds: {result.summary.unique_clients} ingested "
+                  f"clients hashed into {client_clouds.groups} last-mile groups")
         factories = {
             name.strip().upper(): PolicySpec(name.strip().upper())
             for name in args.policies.split(",")

@@ -53,6 +53,7 @@ class HybridPartialBandwidthPolicy(CachePolicy):
     """
 
     allows_partial = True
+    bandwidth_keyed = True
 
     def __init__(self, estimator_e: float = 1.0, **kwargs):
         if not 0.0 < estimator_e <= 1.0:
@@ -97,6 +98,7 @@ class IntegralBandwidthPolicy(CachePolicy):
 
     name = "IB"
     allows_partial = False
+    bandwidth_keyed = True
 
     def utility(self, obj: MediaObject, ctx: PolicyContext) -> float:
         return ctx.frequency / max(ctx.bandwidth, 1e-9)

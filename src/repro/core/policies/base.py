@@ -77,12 +77,21 @@ class CachePolicy(ABC):
     #: Whether the policy may cache and evict fractions of objects.
     allows_partial: bool = False
 
+    #: Whether :meth:`utility` depends on ``ctx.bandwidth``.  Only
+    #: bandwidth-keyed policies react to out-of-band bandwidth shifts
+    #: (:meth:`on_bandwidth_shift`); for the others a re-key would either be
+    #: a no-op (frequency-keyed utilities) or outright wrong (recency /
+    #: inflation-keyed utilities must only move on requests).
+    bandwidth_keyed: bool = False
+
     #: Extra heap entries tolerated before a compaction pays off; keeps tiny
     #: caches from compacting on every request.
     _COMPACTION_SLACK: int = 64
 
     def __init__(self, frequency_tracker: Optional[FrequencyTracker] = None):
         self.frequencies = frequency_tracker or FrequencyTracker()
+        self._catalog = None
+        self._server_objects: Optional[Dict[int, List[int]]] = None
         self._utilities: Dict[int, float] = {}
         self._heap: List[Tuple[float, int, int]] = []
         self._heap_counter = itertools.count()
@@ -114,6 +123,69 @@ class CachePolicy(ABC):
         The default does nothing; GreedyDual-style policies override it to
         update their inflation value (the utility of the last victim).
         """
+
+    def install(self, store: CacheStore, catalog=None) -> None:
+        """Give the policy its pre-replay context (called by the simulator).
+
+        The base implementation only remembers the catalog, which is what
+        lets :meth:`on_bandwidth_shift` resolve tracked object ids back to
+        their origin servers.  Subclasses that pre-populate the store
+        (:class:`~repro.core.policies.optimal.StaticAllocationPolicy`)
+        override this wholesale.
+        """
+        self._catalog = catalog
+        self._server_objects = None
+
+    def _objects_on_server(self, server_id: int) -> List[int]:
+        """Catalog object ids hosted on one server (index built lazily).
+
+        The index costs one catalog pass on the first bandwidth shift and
+        makes each subsequent shift O(objects on that server) instead of a
+        scan over everything the policy has ever tracked.
+        """
+        if self._server_objects is None:
+            by_server: Dict[int, List[int]] = {}
+            for obj in self._catalog:
+                by_server.setdefault(obj.server_id, []).append(obj.object_id)
+            self._server_objects = by_server
+        return self._server_objects.get(server_id, [])
+
+    def on_bandwidth_shift(self, server_id: int, bandwidth: float, now: float) -> int:
+        """React to an out-of-band shift in one path's believed bandwidth.
+
+        Called by the simulator's reactive re-measurement hook
+        (``SimulationConfig.reactive_threshold``; see ``docs/events.md``)
+        when a periodic probe moves a path's estimate past the configured
+        threshold.  Every tracked object served by ``server_id`` has its
+        utility recomputed under the new believed ``bandwidth`` (and its
+        current frequency estimate) and is re-pushed onto the heap —
+        generation-keyed, so the superseded entries become stale garbage
+        that the existing lazy-invalidation + compaction machinery reclaims.
+        Entries whose utility is unchanged are left alone.
+
+        Returns the number of heap entries re-keyed; 0 when the policy is
+        not bandwidth-keyed or no catalog was installed.
+        """
+        if not self.bandwidth_keyed or self._catalog is None:
+            return 0
+        catalog_get = self._catalog.get
+        frequency = self.frequencies.frequency
+        utilities = self._utilities
+        rekeyed = 0
+        for object_id in self._objects_on_server(server_id):
+            old_utility = utilities.get(object_id)
+            if old_utility is None:
+                continue
+            ctx = PolicyContext(
+                now=now,
+                bandwidth=float(bandwidth),
+                frequency=frequency(object_id, now),
+            )
+            utility = self.utility(catalog_get(object_id), ctx)
+            if utility != old_utility:
+                self._set_utility(object_id, utility)
+                rekeyed += 1
+        return rekeyed
 
     # ------------------------------------------------------------------
     # Heap maintenance.

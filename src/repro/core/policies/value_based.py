@@ -35,6 +35,7 @@ class HybridPartialBandwidthValuePolicy(CachePolicy):
     """
 
     allows_partial = True
+    bandwidth_keyed = True
 
     def __init__(self, estimator_e: float = 1.0, **kwargs):
         if not 0.0 < estimator_e <= 1.0:
@@ -86,6 +87,7 @@ class IntegralBandwidthValuePolicy(CachePolicy):
 
     name = "IB-V"
     allows_partial = False
+    bandwidth_keyed = True
 
     def utility(self, obj: MediaObject, ctx: PolicyContext) -> float:
         denominator = obj.size * max(ctx.bandwidth, 1e-9)

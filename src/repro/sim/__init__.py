@@ -12,12 +12,13 @@
 * :mod:`repro.sim.sharing` — the stream-sharing analyzer.
 """
 
-from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.engine import Event, EventQueue, SimulationEngine
 from repro.sim.events import (
     AuxiliarySchedule,
     BandwidthRemeasurement,
     PeriodicEvent,
+    ReactiveRekeyer,
     RemeasurementConfig,
     build_remeasurement_events,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "AuxiliarySchedule",
     "BandwidthKnowledge",
     "BandwidthRemeasurement",
+    "ClientCloudConfig",
     "Event",
     "EventQueue",
     "MetricsCollector",
@@ -37,6 +39,7 @@ __all__ = [
     "PolicyComparison",
     "ProxyCacheSimulator",
     "REPLAY_PATHS",
+    "ReactiveRekeyer",
     "RemeasurementConfig",
     "SharingReport",
     "SimulationConfig",

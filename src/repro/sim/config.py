@@ -13,8 +13,11 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.network.distributions import BandwidthDistribution, NLANRBandwidthDistribution
+from repro.network.topology import ClientCloud
 from repro.network.variability import BandwidthVariabilityModel, ConstantVariability
 from repro.sim.events import RemeasurementConfig
 from repro.units import gb_to_kb
@@ -29,6 +32,66 @@ class BandwidthKnowledge(enum.Enum):
     #: The cache estimates bandwidth passively from the throughput of
     #: completed transfers (Section 2.7's passive measurement).
     PASSIVE = "passive"
+
+
+@dataclass(frozen=True)
+class ClientCloudConfig:
+    """How the per-client last-mile hop is modeled in a simulation.
+
+    The trace's ``client_id`` column is hashed into ``groups`` client
+    groups (``client_id % groups``), and each group gets one last-mile
+    :class:`~repro.network.path.NetworkPath`.  Exactly one of two modes
+    provisions the group base bandwidths:
+
+    * ``bandwidth`` — every group gets this base bandwidth (KB/s).  ``inf``
+      models the hop explicitly while keeping it non-binding, which is how
+      the paper's abundant-last-mile assumption is reproduced bit-for-bit
+      through the composition code.
+    * ``distribution`` — one draw per group from a
+      :class:`~repro.network.distributions.BandwidthDistribution`
+      (heterogeneous clouds, e.g. the NLANR model).
+
+    With neither given, ``bandwidth=inf`` is assumed.  ``variability``
+    modulates every group's per-request draw (shared model instance, so
+    batched draws stay available); ``seed`` adds entropy to the cloud's
+    dedicated random stream — last-mile construction and per-request draws
+    never touch the request stream's generator (see ``docs/clients.md``).
+    """
+
+    groups: int = 1
+    bandwidth: Optional[float] = None
+    distribution: Optional[BandwidthDistribution] = None
+    variability: Optional[BandwidthVariabilityModel] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.groups <= 0:
+            raise ConfigurationError(f"groups must be positive, got {self.groups}")
+        if self.bandwidth is not None and self.distribution is not None:
+            raise ConfigurationError(
+                "give either a homogeneous bandwidth or a distribution, not both"
+            )
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"client-cloud bandwidth must be positive, got {self.bandwidth}"
+            )
+
+    def build_cloud(self, rng: "np.random.Generator") -> ClientCloud:
+        """Materialise the configured :class:`ClientCloud`.
+
+        ``rng`` must be the cloud's *dedicated* generator (the simulator
+        seeds it from ``(stream tag, simulation seed, config seed)``), so
+        attaching a cloud never perturbs origin-path construction or the
+        request stream's bandwidth draws.
+        """
+        if self.distribution is not None:
+            return ClientCloud.from_distribution(
+                self.groups, self.distribution, rng, variability=self.variability
+            )
+        bandwidth = self.bandwidth if self.bandwidth is not None else float("inf")
+        return ClientCloud.homogeneous(
+            bandwidth, variability=self.variability, groups=self.groups
+        )
 
 
 @dataclass
@@ -69,6 +132,20 @@ class SimulationConfig:
         event-capable path (the columnar event loop for dense columnar
         traces, the classic event calendar otherwise); see
         ``docs/events.md``.
+    client_clouds:
+        Optional :class:`ClientCloudConfig` modeling per-client last-mile
+        bandwidth: each client group gets its own cache-to-client path and
+        every request experiences the bottleneck of its origin hop and its
+        client's last-mile hop.  ``None`` (default) keeps the paper's
+        abundant-last-mile assumption; see ``docs/clients.md``.
+    reactive_threshold:
+        Optional fractional threshold enabling the reactive policy hook:
+        when a periodic re-measurement moves a path's passive estimate by
+        more than this fraction relative to the estimate the policy was
+        last re-keyed at, the active policy's heap entries for objects on
+        that path are re-keyed immediately instead of waiting for the next
+        request.  Requires ``remeasurement`` and
+        ``BandwidthKnowledge.PASSIVE``; see ``docs/events.md``.
     seed:
         Seed for the simulation's random number generator (path bandwidth
         assignment and per-request variability draws).
@@ -87,6 +164,8 @@ class SimulationConfig:
     min_path_bandwidth: float = 4.0
     passive_smoothing: float = 0.25
     remeasurement: Optional[RemeasurementConfig] = None
+    client_clouds: Optional[ClientCloudConfig] = None
+    reactive_threshold: Optional[float] = None
     seed: int = 0
     verify_store: bool = False
 
@@ -107,6 +186,21 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"passive_smoothing must be in (0, 1], got {self.passive_smoothing}"
             )
+        if self.reactive_threshold is not None:
+            if self.reactive_threshold <= 0:
+                raise ConfigurationError(
+                    f"reactive_threshold must be positive, got {self.reactive_threshold}"
+                )
+            if self.remeasurement is None:
+                raise ConfigurationError(
+                    "reactive_threshold requires remeasurement: without periodic "
+                    "re-measurement there is no out-of-band estimate shift to react to"
+                )
+            if self.bandwidth_knowledge is not BandwidthKnowledge.PASSIVE:
+                raise ConfigurationError(
+                    "reactive_threshold requires BandwidthKnowledge.PASSIVE: under "
+                    "oracle knowledge the believed bandwidth never shifts"
+                )
 
     @property
     def cache_size_kb(self) -> float:
@@ -135,6 +229,16 @@ class SimulationConfig:
         Pass ``None`` to disable periodic re-measurement (the default).
         """
         return replace(self, remeasurement=remeasurement)
+
+    def with_client_clouds(
+        self, client_clouds: Optional[ClientCloudConfig]
+    ) -> "SimulationConfig":
+        """Copy of this config with a different client-cloud model.
+
+        Pass ``None`` to return to the paper's unmodeled abundant last
+        mile (the default).
+        """
+        return replace(self, client_clouds=client_clouds)
 
     def cache_fraction_of(self, total_unique_kb: float) -> float:
         """Cache size as a fraction of the total unique object size."""

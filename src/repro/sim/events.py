@@ -201,7 +201,7 @@ class BandwidthRemeasurement(PeriodicEvent):
     keeps all replay paths bit-identical in that case.
     """
 
-    __slots__ = ("path", "estimator", "log", "rng", "_samples", "_sample_pos")
+    __slots__ = ("path", "estimator", "log", "rng", "listener", "_samples", "_sample_pos")
 
     #: Samples pre-drawn per batch refill; bounded so short-lived streams
     #: do not waste draws (the stream rng is private, so overdraw is
@@ -218,12 +218,14 @@ class BandwidthRemeasurement(PeriodicEvent):
         estimator: Optional["PassiveEstimator"] = None,
         log: Optional["BandwidthMeasurementLog"] = None,
         priority: int = -1,
+        listener: Optional["ReactiveRekeyer"] = None,
     ):
         super().__init__(interval, first_time, end_time, priority)
         self.path = path
         self.estimator = estimator
         self.log = log
         self.rng = rng
+        self.listener = listener
         self._samples: List[float] = []
         self._sample_pos = 0
 
@@ -242,6 +244,88 @@ class BandwidthRemeasurement(PeriodicEvent):
             self.log.record(now, server_id, sample)
         if self.estimator is not None:
             self.estimator.observe(server_id, sample)
+            if self.listener is not None:
+                self.listener.notify(now, server_id)
+
+
+class ReactiveRekeyer:
+    """Threshold-gated bridge from re-measurement shifts to the policy.
+
+    Passive estimation updates a path's believed bandwidth the moment a
+    re-measurement sample lands, but a policy's *heap keys* only refresh
+    when the next request happens to touch an object on that path — stale
+    keys can mis-order evictions for exactly the cold servers out-of-band
+    measurement exists to cover.  The rekeyer closes that window: after
+    every re-measurement sample it compares the path's new estimate against
+    the estimate the policy was last re-keyed at (the *anchor*; the first
+    sample seeds it) and, when the relative shift exceeds ``threshold``,
+    calls :meth:`~repro.core.policies.base.CachePolicy.on_bandwidth_shift`
+    so the policy re-keys the affected heap entries immediately —
+    generation-keyed, reusing the existing lazy-invalidation/compaction
+    machinery.
+
+    Both event-capable replay paths fire re-measurements in the same order,
+    so reactive runs stay bit-identical across them (asserted in
+    ``tests/test_sim_clients.py``).  ``shifts`` counts threshold crossings,
+    ``entries_rekeyed`` the heap entries actually re-pushed.
+
+    ``bandwidth_cap`` keeps the hook consistent with per-client last-mile
+    composition (``docs/clients.md``): requests key the heap at
+    ``min(estimate, client last-mile base)``, so when a client cloud binds,
+    the rekeyer compares and re-keys at the estimate capped to the cloud's
+    *largest* group base — estimate movement entirely above the cap changes
+    nothing any request would believe, and triggers no re-key.
+    """
+
+    __slots__ = (
+        "policy",
+        "estimator",
+        "threshold",
+        "bandwidth_cap",
+        "shifts",
+        "entries_rekeyed",
+        "_anchors",
+    )
+
+    def __init__(
+        self,
+        policy,
+        estimator: "PassiveEstimator",
+        threshold: float,
+        bandwidth_cap: Optional[float] = None,
+    ):
+        if threshold <= 0:
+            raise ConfigurationError(
+                f"reactive threshold must be positive, got {threshold}"
+            )
+        if bandwidth_cap is not None and bandwidth_cap <= 0:
+            raise ConfigurationError(
+                f"bandwidth_cap must be positive, got {bandwidth_cap}"
+            )
+        self.policy = policy
+        self.estimator = estimator
+        self.threshold = float(threshold)
+        self.bandwidth_cap = bandwidth_cap
+        self.shifts = 0
+        self.entries_rekeyed = 0
+        self._anchors: Dict[int, float] = {}
+
+    def notify(self, now: float, server_id: int) -> None:
+        """Consider re-keying after one re-measurement sample landed."""
+        estimate = self.estimator.estimate(server_id)
+        if self.bandwidth_cap is not None and estimate > self.bandwidth_cap:
+            estimate = self.bandwidth_cap
+        anchor = self._anchors.get(server_id)
+        if anchor is None:
+            self._anchors[server_id] = estimate
+            return
+        if abs(estimate - anchor) <= self.threshold * anchor:
+            return
+        self.shifts += 1
+        self.entries_rekeyed += self.policy.on_bandwidth_shift(
+            server_id, estimate, now
+        )
+        self._anchors[server_id] = estimate
 
 
 class AuxiliarySchedule:
@@ -348,6 +432,7 @@ def build_remeasurement_events(
     trace_start: float,
     trace_end: float,
     base_seed: int,
+    listener: Optional[ReactiveRekeyer] = None,
 ) -> List[BandwidthRemeasurement]:
     """Expand a :class:`RemeasurementConfig` into concrete event streams.
 
@@ -357,7 +442,8 @@ def build_remeasurement_events(
     seeded independently of the simulation's request stream (mixing
     ``base_seed``, ``config.seed``, and a fixed stream tag), and firing
     order is deterministic, so results are reproducible across replay paths
-    and process boundaries.
+    and process boundaries.  ``listener`` (a :class:`ReactiveRekeyer`) is
+    attached to every stream so estimate shifts can re-key the policy.
     """
     start = config.start_time if config.start_time is not None else float(trace_start)
     end = config.end_time if config.end_time is not None else float(trace_end)
@@ -402,6 +488,7 @@ def build_remeasurement_events(
                     estimator=estimator,
                     log=log,
                     priority=config.priority,
+                    listener=listener,
                 )
             )
     return events

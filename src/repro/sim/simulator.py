@@ -35,6 +35,13 @@ The simulator has three replay paths that produce bit-identical metrics
   auxiliary events into the request stream by ``(time, priority)``.  With
   no auxiliary events scheduled it performs exactly the columnar fast
   loop's arithmetic, so its metrics are bit-identical to the other paths.
+
+Per-client last-mile bandwidth
+(:attr:`~repro.sim.config.SimulationConfig.client_clouds`) composes onto
+every path identically: the last-mile sequences are resolved once per run
+before replay starts (:meth:`ProxyCacheSimulator._last_mile_sequences`),
+and each request's delivered bandwidth becomes the bottleneck of its two
+hops — see ``docs/clients.md``.
 """
 
 from __future__ import annotations
@@ -50,7 +57,11 @@ from repro.network.measurement import BandwidthMeasurementLog, PassiveEstimator
 from repro.network.topology import DeliveryTopology
 from repro.sim.config import BandwidthKnowledge, SimulationConfig
 from repro.sim.engine import SimulationEngine
-from repro.sim.events import AuxiliarySchedule, build_remeasurement_events
+from repro.sim.events import (
+    AuxiliarySchedule,
+    ReactiveRekeyer,
+    build_remeasurement_events,
+)
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.streaming.session import DeliverySession
 from repro.trace.columnar import ColumnarTrace
@@ -60,6 +71,11 @@ from repro.workload.gismo import Workload
 #: Replay-path names accepted by :meth:`ProxyCacheSimulator.run`'s
 #: ``replay`` argument (``"auto"`` resolves to one of the other three).
 REPLAY_PATHS = ("auto", "event", "fast", "columnar-event")
+
+#: Entropy tag mixed into the client-cloud generator's seed so last-mile
+#: construction and per-request last-mile draws never collide with the
+#: request stream (bare config seed) or the re-measurement stream.
+_CLIENT_CLOUD_STREAM_TAG = 0x434C49
 
 
 @dataclass
@@ -71,7 +87,10 @@ class SimulationResult:
     boolean view of the same fact.  ``auxiliary_events_fired`` counts typed
     periodic-event firings (e.g. bandwidth re-measurements), and
     ``measurement_log`` carries their per-server sample statistics when the
-    run had re-measurement configured.
+    run had re-measurement configured.  ``reactive_shifts`` /
+    ``reactive_rekeys`` count the threshold crossings and heap entries
+    re-keyed by the reactive hook
+    (:attr:`~repro.sim.config.SimulationConfig.reactive_threshold`).
     """
 
     metrics: SimulationMetrics
@@ -84,6 +103,8 @@ class SimulationResult:
     replay_path: str = "fast"
     auxiliary_events_fired: int = 0
     measurement_log: Optional[BandwidthMeasurementLog] = None
+    reactive_shifts: int = 0
+    reactive_rekeys: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten result and headline metrics into one dictionary."""
@@ -124,7 +145,14 @@ class ProxyCacheSimulator:
         self.config = config or SimulationConfig()
 
     def build_topology(self, rng: np.random.Generator) -> DeliveryTopology:
-        """Draw per-server base bandwidths and assemble the topology."""
+        """Draw per-server base bandwidths and assemble the topology.
+
+        When the config carries a
+        :class:`~repro.sim.config.ClientCloudConfig`, the client cloud's
+        last-mile paths are built here too — from a dedicated generator, so
+        attaching a cloud never perturbs the origin-path draws (the
+        unconstrained-cloud bit-identity of ``tests/test_sim_clients.py``).
+        """
         topology = DeliveryTopology.build(
             catalog=self.workload.catalog,
             cache_capacity_kb=self.config.cache_size_kb,
@@ -137,7 +165,30 @@ class ProxyCacheSimulator:
             for path in topology.paths:
                 if path.base_bandwidth < floor:
                     path.base_bandwidth = floor
+        if self.config.client_clouds is not None:
+            cloud_rng = np.random.default_rng(self._client_cloud_seed(0))
+            topology.clients = self.config.client_clouds.build_cloud(cloud_rng)
         return topology
+
+    def _client_cloud_seed(self, purpose: int) -> tuple:
+        """Seed of one client-cloud random stream.
+
+        ``purpose`` separates the cloud's two uses of randomness —
+        construction (group base-bandwidth draws, 0) and per-request
+        last-mile variability (1) — so the request-time ratio stream never
+        replays the values that provisioned the groups.
+        """
+        cloud_seed = (
+            self.config.client_clouds.seed
+            if self.config.client_clouds is not None
+            else 0
+        )
+        return (
+            _CLIENT_CLOUD_STREAM_TAG,
+            purpose,
+            self.config.seed & 0xFFFFFFFF,
+            cloud_seed & 0xFFFFFFFF,
+        )
 
     def schedule_auxiliary_events(
         self,
@@ -160,11 +211,14 @@ class ProxyCacheSimulator:
         topology: DeliveryTopology,
         estimator: Optional[PassiveEstimator],
         measurement_log: Optional[BandwidthMeasurementLog],
+        rekeyer: Optional[ReactiveRekeyer] = None,
     ) -> AuxiliarySchedule:
         """Expand the config's typed periodic events into a schedule.
 
         Currently this covers periodic bandwidth re-measurement
-        (:attr:`~repro.sim.config.SimulationConfig.remeasurement`);
+        (:attr:`~repro.sim.config.SimulationConfig.remeasurement`), with
+        ``rekeyer`` attached to every stream when the run is reactive
+        (:attr:`~repro.sim.config.SimulationConfig.reactive_threshold`);
         subclasses adding further *typed* event families extend this and
         keep access to the columnar event path, whereas arbitrary engine
         events go through :meth:`schedule_auxiliary_events` and force the
@@ -182,8 +236,58 @@ class ProxyCacheSimulator:
                 trace_start=trace.start_time,
                 trace_end=trace.end_time,
                 base_seed=self.config.seed,
+                listener=rekeyer,
             )
         )
+
+    def _last_mile_sequences(
+        self, topology: DeliveryTopology, trace
+    ) -> Optional[tuple]:
+        """Per-request last-mile ``(base, observed)`` bandwidth sequences.
+
+        Returns ``None`` when the topology's client cloud has no modeled
+        last-mile paths — the replay loops then skip the composition
+        entirely, reproducing the pre-heterogeneity arithmetic exactly.
+
+        Otherwise every request is resolved to its client's group path
+        (``client_id % groups``) and two aligned lists are returned: the
+        group's *base* bandwidth (what the cache believes its own last mile
+        sustains — the cache knows its client side, so no estimator is
+        involved) and the *observed* last-mile bandwidth for that request
+        (base modulated by the group's variability model).  All draws come
+        from the cloud's dedicated generator, in request order, computed
+        once per run *before* replay starts — which is what makes the
+        composition bit-identical across all four replay paths by
+        construction.
+        """
+        cloud = topology.clients
+        paths = getattr(cloud, "paths", None)
+        if not paths:
+            return None
+        total = len(trace)
+        if isinstance(trace, ColumnarTrace):
+            client_ids = trace.client_ids_array.astype(np.int64, copy=False)
+        else:
+            client_ids = np.fromiter(
+                (request.client_id for request in trace), dtype=np.int64, count=total
+            )
+        groups = client_ids % len(paths)
+        base_lut = np.array([path.base_bandwidth for path in paths], dtype=np.float64)
+        base = base_lut[groups]
+
+        rng = np.random.default_rng(self._client_cloud_seed(1))
+        model = paths[0].variability
+        shared = all(path.variability is model for path in paths)
+        if shared and getattr(model, "iid_batch_equivalent", False) and total:
+            ratios = np.asarray(model.sample_ratio(rng, size=total), dtype=np.float64)
+            observed = base * ratios
+            np.maximum(observed, 1.0, out=observed)
+        else:
+            observed = np.empty(total, dtype=np.float64)
+            group_list = groups.tolist()
+            for index in range(total):
+                observed[index] = paths[group_list[index]].observed_bandwidth(rng)
+        return base.tolist(), observed.tolist()
 
     def run(
         self,
@@ -236,7 +340,33 @@ class ProxyCacheSimulator:
         measurement_log: Optional[BandwidthMeasurementLog] = None
         if self.config.remeasurement is not None:
             measurement_log = BandwidthMeasurementLog()
-        schedule = self.build_auxiliary_schedule(topology, estimator, measurement_log)
+        rekeyer: Optional[ReactiveRekeyer] = None
+        if (
+            self.config.reactive_threshold is not None
+            and estimator is not None
+            and hasattr(policy, "on_bandwidth_shift")
+        ):
+            # With a modeled client cloud, no request ever believes more
+            # than the largest last-mile base; cap re-keys there too so
+            # shift detection and heap keys stay consistent with the
+            # per-request composition.
+            cloud_paths = getattr(topology.clients, "paths", None)
+            bandwidth_cap = (
+                max(path.base_bandwidth for path in cloud_paths)
+                if cloud_paths
+                else None
+            )
+            if bandwidth_cap == float("inf"):
+                bandwidth_cap = None
+            rekeyer = ReactiveRekeyer(
+                policy,
+                estimator,
+                self.config.reactive_threshold,
+                bandwidth_cap=bandwidth_cap,
+            )
+        schedule = self.build_auxiliary_schedule(
+            topology, estimator, measurement_log, rekeyer
+        )
 
         trace = self.workload.trace
         total_requests = len(trace)
@@ -256,9 +386,18 @@ class ProxyCacheSimulator:
             replay, use_fast_path, have_hook_events, have_typed_events, dense_bound
         )
 
+        last_mile = self._last_mile_sequences(topology, trace)
+
         if mode == "fast":
             self._replay_fast(
-                policy, topology, store, collector, estimator, rng, warmup_cutoff
+                policy,
+                topology,
+                store,
+                collector,
+                estimator,
+                rng,
+                warmup_cutoff,
+                last_mile,
             )
         elif mode == "columnar-event":
             self._replay_events_columnar(
@@ -271,11 +410,20 @@ class ProxyCacheSimulator:
                 rng,
                 warmup_cutoff,
                 dense_bound,
+                last_mile,
             )
         else:
             schedule.schedule_into(engine)
             self._replay_events(
-                engine, policy, topology, store, collector, estimator, rng, warmup_cutoff
+                engine,
+                policy,
+                topology,
+                store,
+                collector,
+                estimator,
+                rng,
+                warmup_cutoff,
+                last_mile,
             )
 
         return SimulationResult(
@@ -289,6 +437,8 @@ class ProxyCacheSimulator:
             replay_path=mode,
             auxiliary_events_fired=schedule.fired,
             measurement_log=measurement_log,
+            reactive_shifts=rekeyer.shifts if rekeyer is not None else 0,
+            reactive_rekeys=rekeyer.entries_rekeyed if rekeyer is not None else 0,
         )
 
     @staticmethod
@@ -343,9 +493,20 @@ class ProxyCacheSimulator:
         estimator: Optional[PassiveEstimator],
         rng: np.random.Generator,
         warmup_cutoff: int,
+        last_mile: Optional[tuple] = None,
     ) -> None:
-        """Dispatch every request through the discrete-event engine."""
+        """Dispatch every request through the discrete-event engine.
+
+        ``last_mile`` (from :meth:`_last_mile_sequences`) composes the
+        cache-to-client hop into each request: the delivered bandwidth is
+        the bottleneck of the origin draw and the client's last-mile draw,
+        and the bandwidth the policy believes is capped by the client
+        group's last-mile base.  The passive estimator keeps observing the
+        *origin* draw — it estimates the cache-to-server hop, which the
+        cache cannot conflate with its own (known) client side.
+        """
         catalog = self.workload.catalog
+        lm_base, lm_observed = last_mile if last_mile is not None else (None, None)
 
         def handle_request(engine: SimulationEngine, payload) -> None:
             index, request = payload
@@ -354,10 +515,19 @@ class ProxyCacheSimulator:
             obj = catalog.get(request.object_id)
             path = topology.path_for(obj)
             observed_bandwidth = path.observed_bandwidth(rng)
+            origin_observed = observed_bandwidth
+            if lm_observed is not None:
+                cap = lm_observed[index]
+                if cap < observed_bandwidth:
+                    observed_bandwidth = cap
             if estimator is not None:
                 believed_bandwidth = estimator.estimate(obj.server_id)
             else:
                 believed_bandwidth = path.base_bandwidth
+            if lm_base is not None:
+                cap = lm_base[index]
+                if cap < believed_bandwidth:
+                    believed_bandwidth = cap
 
             cached_before = store.cached_bytes(obj.object_id)
             outcome = DeliverySession(obj, cached_before, observed_bandwidth).outcome()
@@ -365,7 +535,7 @@ class ProxyCacheSimulator:
 
             policy.on_request(obj, believed_bandwidth, engine.now, store)
             if estimator is not None:
-                estimator.observe(obj.server_id, observed_bandwidth)
+                estimator.observe(obj.server_id, origin_observed)
             if self.config.verify_store and not store.verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "
@@ -410,6 +580,7 @@ class ProxyCacheSimulator:
         estimator: Optional[PassiveEstimator],
         rng: np.random.Generator,
         warmup_cutoff: int,
+        last_mile: Optional[tuple] = None,
     ) -> None:
         """Iterate the trace in a tight loop, bypassing the event calendar.
 
@@ -420,7 +591,8 @@ class ProxyCacheSimulator:
         bit-identical to the event path's.  Warm-up requests skip the
         delivery-outcome arithmetic entirely — their outcomes are never
         recorded — and all metric sums accumulate in locals, merged into the
-        collector once at the end.
+        collector once at the end.  ``last_mile`` composes the per-client
+        hop exactly as in :meth:`_replay_events`.
         """
         catalog = self.workload.catalog
         trace = self.workload.trace
@@ -439,6 +611,7 @@ class ProxyCacheSimulator:
                     rng,
                     warmup_cutoff,
                     max_id,
+                    last_mile,
                 )
 
         ratio_array = self._predraw_ratios(topology, rng, len(trace))
@@ -460,6 +633,7 @@ class ProxyCacheSimulator:
         # before replay starts), so caching it is safe.
         resolved: Dict[int, tuple] = {}
         ratios = ratio_array.tolist() if ratio_array is not None else None
+        lm_base, lm_observed = last_mile if last_mile is not None else (None, None)
 
         measuring = collector.measuring
         m_requests = 0
@@ -516,11 +690,20 @@ class ProxyCacheSimulator:
                     observed = 1.0
             else:
                 observed = path.observed_bandwidth(rng)
+            origin_observed = observed
+            if lm_observed is not None:
+                cap = lm_observed[index]
+                if cap < observed:
+                    observed = cap
 
             if estimator_estimate is not None:
                 believed = estimator_estimate(server_id)
             else:
                 believed = base_bw
+            if lm_base is not None:
+                cap = lm_base[index]
+                if cap < believed:
+                    believed = cap
 
             cached = store_cached(object_id)
 
@@ -565,7 +748,7 @@ class ProxyCacheSimulator:
 
             policy_on_request(obj, believed, req_time, store)
             if estimator_observe is not None:
-                estimator_observe(server_id, observed)
+                estimator_observe(server_id, origin_observed)
             if verify_store and not verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "
@@ -601,6 +784,7 @@ class ProxyCacheSimulator:
         rng: np.random.Generator,
         warmup_cutoff: int,
         max_id: int,
+        last_mile: Optional[tuple] = None,
     ) -> None:
         """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
 
@@ -620,6 +804,7 @@ class ProxyCacheSimulator:
             rng,
             warmup_cutoff,
             max_id,
+            last_mile,
         )
 
     # ------------------------------------------------------------------
@@ -636,6 +821,7 @@ class ProxyCacheSimulator:
         rng: np.random.Generator,
         warmup_cutoff: int,
         max_id: int,
+        last_mile: Optional[tuple] = None,
     ) -> None:
         """Event-capable replay over a dense-id columnar trace.
 
@@ -652,7 +838,8 @@ class ProxyCacheSimulator:
         fast/columnar loops.  Auxiliary events draw from their own random
         generators (see :mod:`repro.sim.events`), so the request stream's
         pre-drawn bandwidth ratios stay valid even while events fire
-        between requests.
+        between requests.  ``last_mile`` composes the per-client hop
+        exactly as in :meth:`_replay_events`.
         """
         catalog = self.workload.catalog
         trace: ColumnarTrace = self.workload.trace
@@ -703,6 +890,8 @@ class ProxyCacheSimulator:
             np.maximum(observed_array, 1.0, out=observed_array)
             observed_seq = observed_array.tolist()
 
+        lm_base, lm_observed = last_mile if last_mile is not None else (None, None)
+
         aux_heap = schedule.begin()
         fire_before = schedule.fire_before
 
@@ -738,11 +927,20 @@ class ProxyCacheSimulator:
                 observed = observed_seq[index]
             else:
                 observed = path.observed_bandwidth(rng)
+            origin_observed = observed
+            if lm_observed is not None:
+                cap = lm_observed[index]
+                if cap < observed:
+                    observed = cap
 
             if estimator_estimate is not None:
                 believed = estimator_estimate(server_id)
             else:
                 believed = base_bw
+            if lm_base is not None:
+                cap = lm_base[index]
+                if cap < believed:
+                    believed = cap
 
             if measuring:
                 cached = store_cached(object_id)
@@ -787,7 +985,7 @@ class ProxyCacheSimulator:
 
             policy_on_request(obj, believed, req_time, store)
             if estimator_observe is not None:
-                estimator_observe(server_id, observed)
+                estimator_observe(server_id, origin_observed)
             if verify_store and not verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "

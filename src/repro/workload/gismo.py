@@ -67,6 +67,15 @@ class WorkloadConfig:
         Range of the per-object value ``V_i`` in dollars (paper: $1–$10).
     layers:
         Number of encoding layers used by the stream-quality metric.
+    num_clients:
+        How many distinct clients issue the requests.  The paper assumes a
+        homogeneous client cloud, so the default of 1 leaves every
+        request's ``client_id`` at 0 — and the generator's draws exactly as
+        they have always been.  With more clients each request is assigned
+        one uniformly at random (drawn *after* every other column, so
+        catalogs and arrival/popularity draws are unchanged); the client
+        column is what per-client last-mile modeling keys on
+        (``docs/clients.md``).
     seed:
         Seed for the workload's random number generator.
     """
@@ -82,6 +91,7 @@ class WorkloadConfig:
     value_min: float = 1.0
     value_max: float = 10.0
     layers: int = 4
+    num_clients: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -91,6 +101,8 @@ class WorkloadConfig:
             raise ConfigurationError("num_requests must be positive")
         if self.num_servers <= 0:
             raise ConfigurationError("num_servers must be positive")
+        if self.num_clients <= 0:
+            raise ConfigurationError("num_clients must be positive")
         if self.value_min < 0 or self.value_max < self.value_min:
             raise ConfigurationError(
                 f"invalid value range [{self.value_min}, {self.value_max}]"
@@ -205,14 +217,23 @@ class GismoWorkloadGenerator:
         catalog = self.generate_catalog(rng)
         times = self.arrivals.sample(cfg.num_requests, rng)
         ranks = self.popularity.sample_ranks(cfg.num_objects, cfg.num_requests, rng)
+        # Client assignment draws last so that enabling a multi-client
+        # population never perturbs the catalog/arrival/popularity draws
+        # (single-client workloads skip the draw entirely and stay
+        # byte-identical to previous releases).
+        clients = None
+        if cfg.num_clients > 1:
+            clients = rng.integers(0, cfg.num_clients, size=cfg.num_requests)
         if columnar:
             # Imported lazily: repro.trace.columnar consumes this module's
             # types through the package, so a top-level import would cycle.
             from repro.trace.columnar import ColumnarTrace
 
-            trace = ColumnarTrace(times, ranks)
+            trace = ColumnarTrace(times, ranks, clients)
         else:
-            trace = RequestTrace.from_arrays(times, ranks)
+            trace = RequestTrace.from_arrays(
+                times, ranks, clients if clients is not None else ()
+            )
         expected = self.popularity.probabilities(cfg.num_objects) * cfg.num_requests
         return Workload(
             catalog=catalog, trace=trace, config=cfg, expected_rates=expected

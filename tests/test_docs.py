@@ -1,10 +1,12 @@
-"""The documentation suite stays honest: links resolve, the quickstart
-runs, and the public API is documented.
+"""The documentation suite stays honest: links resolve, the executable
+snippets run, and the public API is documented.
 
 These mirror the CI docs job (``make docs-check``) inside tier-1 so a
-broken link or a stale README snippet fails locally too, and they enforce
-the docstring contract on the ``repro.trace`` / ``repro.sim`` public API —
-every exported symbol must be usable through ``help()``.
+broken link or a stale snippet (the README quickstart, the
+``docs/clients.md`` worked example) fails locally too, and they enforce
+the docstring contract on the ``repro.trace`` / ``repro.sim`` /
+``repro.network`` public API — every exported symbol must be usable
+through ``help()``.
 """
 
 import importlib
@@ -36,6 +38,7 @@ def test_required_documents_exist():
     for relative in (
         "README.md",
         "docs/architecture.md",
+        "docs/clients.md",
         "docs/events.md",
         "docs/performance.md",
         "docs/traces.md",
@@ -59,6 +62,21 @@ def test_readme_quickstart_runs_as_is(check_docs):
     assert "traffic_reduction" in output
 
 
+def test_clients_worked_example_runs_as_is(check_docs):
+    snippet = check_docs.extract_python_block(REPO_ROOT / "docs" / "clients.md")
+    assert snippet is not None, "docs/clients.md lost its ```python example"
+    code, output = check_docs.run_snippet(snippet)
+    assert code == 0, f"docs/clients.md example failed:\n{output}"
+    # One line per client-cloud setting, plus the reactive summary.
+    assert "unconstrained" in output and "heterogeneous" in output
+    assert "reactive:" in output
+
+
+def test_executable_snippet_registry_covers_clients_page(check_docs):
+    assert "docs/clients.md" in check_docs.EXECUTABLE_SNIPPETS
+    assert "README.md" in check_docs.EXECUTABLE_SNIPPETS
+
+
 def test_link_checker_flags_broken_links(check_docs, tmp_path):
     page = tmp_path / "page.md"
     page.write_text(
@@ -72,9 +90,10 @@ def test_link_checker_flags_broken_links(check_docs, tmp_path):
 
 
 # ----------------------------------------------------------------------
-# Docstring pass: repro.trace and repro.sim are help()-complete.
+# Docstring pass: repro.trace, repro.sim, and repro.network are
+# help()-complete (repro.network joined with the client-cloud API).
 # ----------------------------------------------------------------------
-DOCUMENTED_PACKAGES = ("repro.trace", "repro.sim")
+DOCUMENTED_PACKAGES = ("repro.trace", "repro.sim", "repro.network")
 
 
 def _exported_symbols(package_name):

@@ -184,3 +184,93 @@ def test_cli_ingest_append_stitches_segments(tmp_path):
         env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
     )
     assert bad.returncode == 2
+
+
+# ----------------------------------------------------------------------
+# CLI: --append when segments disagree on client-id spaces.
+# ----------------------------------------------------------------------
+def _squid_line(time, client, url):
+    return (f"{time:.3f}    500 {client} TCP_MISS/200 2048 GET {url} "
+            "- DIRECT/media.bu.edu video/x-pn-realvideo")
+
+
+def _ingest(tmp_path, log_path, extra=()):
+    command = [
+        sys.executable, "-m", "repro", "ingest", str(log_path),
+        "--out", str(tmp_path / "rolling.npz"),
+    ] + list(extra)
+    return subprocess.run(
+        command,
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_append_remaps_disagreeing_client_id_spaces(tmp_path):
+    """First-seen client ids differ per segment; the sidecar aligns them.
+
+    Day 1 sees carol then alice; day 2 sees alice, then a brand-new bob,
+    then carol.  Without the client map, alice would collide with carol's
+    archived id 0.  With it, each address keeps one id across segments and
+    new addresses extend the space.
+    """
+    url = "http://media.bu.edu/media/clip00.rm"
+    day1 = tmp_path / "day1.log"
+    day1.write_text("\n".join([
+        _squid_line(100.0, "10.0.0.3", url),   # carol  -> day-1 id 0
+        _squid_line(110.0, "10.0.0.1", url),   # alice  -> day-1 id 1
+    ]) + "\n")
+    day2 = tmp_path / "day2.log"
+    day2.write_text("\n".join([
+        _squid_line(200.0, "10.0.0.1", url),   # alice  -> day-2 id 0 (!)
+        _squid_line(210.0, "10.0.0.9", url),   # bob    -> day-2 id 1 (new)
+        _squid_line(220.0, "10.0.0.3", url),   # carol  -> day-2 id 2 (!)
+    ]) + "\n")
+
+    first = _ingest(tmp_path, day1)
+    assert first.returncode == 0, first.stderr
+    second = _ingest(tmp_path, day2, ["--append"])
+    assert second.returncode == 0, second.stderr
+    assert "client map: 2 archived clients, 1 new" in second.stdout
+
+    stitched = ColumnarTrace.from_npz(tmp_path / "rolling.npz")
+    # carol=0 and alice=1 from day 1; day 2's rows remapped to
+    # alice=1, bob=2 (fresh), carol=0 — not day 2's first-seen 0/1/2.
+    assert stitched.client_ids_array.tolist() == [0, 1, 1, 2, 0]
+
+    import json
+
+    sidecar = json.loads((tmp_path / "rolling.urls.json").read_text())
+    assert sidecar["clients"] == {"10.0.0.3": 0, "10.0.0.1": 1, "10.0.0.9": 2}
+    assert set(sidecar["urls"]) == {url}
+
+
+def test_cli_append_survives_legacy_url_only_sidecar(tmp_path):
+    """A pre-client-map sidecar (flat url dict) appends with a warning."""
+    import json
+
+    url = "http://media.bu.edu/media/clip00.rm"
+    day1 = tmp_path / "day1.log"
+    day1.write_text(_squid_line(100.0, "10.0.0.3", url) + "\n")
+    first = _ingest(tmp_path, day1)
+    assert first.returncode == 0, first.stderr
+
+    sidecar_path = tmp_path / "rolling.urls.json"
+    stored = json.loads(sidecar_path.read_text())
+    sidecar_path.write_text(json.dumps(stored["urls"]))  # strip to legacy form
+
+    day2 = tmp_path / "day2.log"
+    day2.write_text(_squid_line(200.0, "10.0.0.1", url) + "\n")
+    second = _ingest(tmp_path, day2, ["--append"])
+    assert second.returncode == 0, second.stderr
+    assert "no client map" in second.stderr  # warned, did not crash
+
+    stitched = ColumnarTrace.from_npz(tmp_path / "rolling.npz")
+    # URLs still remap through the legacy map; the new segment's client is
+    # renumbered past the archive's observed ids instead of colliding.
+    assert stitched.object_ids_array.tolist() == [0, 0]
+    assert stitched.client_ids_array.tolist() == [0, 1]
+    upgraded = json.loads(sidecar_path.read_text())
+    assert "clients" in upgraded and upgraded["clients"]["10.0.0.1"] == 1
