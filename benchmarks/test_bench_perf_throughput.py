@@ -8,9 +8,10 @@ object-per-request trace (PR 1), through the fast path over a numpy-native
 :class:`~repro.trace.columnar.ColumnarTrace`, and through the **columnar
 event path** (the calendar iterating the numpy columns directly, with and
 without periodic bandwidth re-measurement) — and the requests/second of
-all of them, the speedups, the re-measurement overhead ratio, and the
-policy heap's peak size are written to ``BENCH_perf.json`` at the
-repository root.  A ``client_clouds`` section records the cost of
+all of them, the speedups, the re-measurement overhead ratio, the
+passive-driven reactive re-keying overhead ratio (``reactive``, see
+``docs/events.md``), and the policy heap's peak size are written to
+``BENCH_perf.json`` at the repository root.  A ``client_clouds`` section records the cost of
 per-client last-mile bandwidth composition (``docs/clients.md``) against
 the same replay with the hop unmodeled, and a ``dispatch`` section the
 parallel-dispatch overhead of shipping the workload to worker processes
@@ -251,6 +252,36 @@ def test_throughput_full_200k():
     remeasure_rps = requests / remeasure_elapsed
     remeasure_overhead = remeasure_elapsed / passive_elapsed
 
+    # Passive-driven reactive re-keying: every request's passive
+    # observation can move heap keys (threshold-gated, hysteresis-bounded).
+    # The baseline is the same passive-estimation columnar-event replay
+    # measured above — the ratio isolates the rekeyer machinery (one
+    # notify per request plus the triggered re-keys).
+    reactive_config = SimulationConfig(
+        cache_size_gb=BENCH_CACHE_GB,
+        variability=NLANRRatioVariability(),
+        bandwidth_knowledge=BandwidthKnowledge.PASSIVE,
+        reactive_threshold=0.15,
+        reactive_passive=True,
+        reactive_hysteresis=0.05,
+        seed=BENCH_SEED,
+    )
+    reactive_simulator = ProxyCacheSimulator(col_workload, reactive_config)
+    reactive_result, _, reactive_elapsed = _timed_run(
+        reactive_simulator, col_topology, replay="columnar-event", repeats=2
+    )
+    assert reactive_result.replay_path == "columnar-event"
+    assert reactive_result.reactive_shifts > 0
+    reactive_rps = requests / reactive_elapsed
+    reactive_overhead = reactive_elapsed / passive_elapsed
+    # The hook is one estimator read + a dict probe per request when quiet;
+    # anything past 2x means the notify path regressed to real work.
+    assert reactive_overhead <= 2.0, (
+        f"passive-driven reactive replay costs {reactive_overhead:.2f}x the "
+        f"passive baseline ({reactive_rps:,.0f} vs "
+        f"{requests / passive_elapsed:,.0f} req/s)"
+    )
+
     # Per-client last-mile draws: replay a 200k-request multi-client trace
     # on the columnar fast path with a heterogeneous client cloud attached
     # vs the same workload with the hop unmodeled.  The overhead isolates
@@ -356,6 +387,14 @@ def test_throughput_full_200k():
                         requests / passive_elapsed, 1
                     ),
                     "overhead_ratio_vs_passive": round(remeasure_overhead, 3),
+                },
+                "reactive": {
+                    "threshold": 0.15,
+                    "hysteresis": 0.05,
+                    "shifts": reactive_result.reactive_shifts,
+                    "rekeys": reactive_result.reactive_rekeys,
+                    "requests_per_sec": round(reactive_rps, 1),
+                    "overhead_ratio_vs_passive": round(reactive_overhead, 3),
                 },
                 "client_clouds": {
                     "clients": CLIENT_COUNT,

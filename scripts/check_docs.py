@@ -9,8 +9,9 @@ library form, by ``tests/test_docs.py``):
   to an existing file or directory (anchors are stripped; ``http(s)``/
   ``mailto`` targets are skipped — CI must not flake on the network).
 * **Snippet check** — the first ``python`` code block of every page listed
-  in :data:`EXECUTABLE_SNIPPETS` (the README quickstart and the
-  ``docs/clients.md`` worked example) must run as-is (with ``src/`` on
+  in :data:`EXECUTABLE_SNIPPETS` (the README quickstart, the
+  ``docs/clients.md`` worked example, and the ``docs/events.md``
+  re-measurement + reactive example) must run as-is (with ``src/`` on
   ``PYTHONPATH``), so the code a reader copies cannot be stale.
 
 Exit status is non-zero when any check fails; failures are listed one per
@@ -37,7 +38,7 @@ _LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
 #: Pages whose first ```python block must execute cleanly, repo-relative.
-EXECUTABLE_SNIPPETS = ("README.md", "docs/clients.md")
+EXECUTABLE_SNIPPETS = ("README.md", "docs/clients.md", "docs/events.md")
 
 
 def iter_markdown_files(root: Path = REPO_ROOT) -> List[Path]:

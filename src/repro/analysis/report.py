@@ -108,6 +108,22 @@ def render_experiment(result: ExperimentResult) -> str:
             lines.append(format_sweep_table(surface, "traffic_reduction_ratio"))
             lines.append(format_sweep_table(surface, "average_service_delay"))
 
+    comparisons = result.data.get("comparisons_by_setting")
+    if comparisons:
+        counters = result.data.get("reactive_counters", {})
+        for label, comparison in comparisons.items():
+            lines.append("")
+            lines.append(f"-- setting = {label} --")
+            lines.append(format_comparison(comparison))
+            setting_counters = counters.get(label)
+            if setting_counters:
+                summary = ", ".join(
+                    f"{policy}: {c['shifts']} shifts / {c['rekeys']} rekeys"
+                    + (f" / {c['suppressed']} suppressed" if c["suppressed"] else "")
+                    for policy, c in setting_counters.items()
+                )
+                lines.append(f"   reactive: {summary}")
+
     scalar_keys = [
         "fraction_below_50",
         "fraction_below_100",

@@ -16,8 +16,11 @@ Three sub-commands cover the common uses:
 ``--knowledge passive`` switches policies from oracle bandwidth to the
 passive estimator, ``--remeasure-every SECONDS`` adds periodic bandwidth
 re-measurement between requests, and ``--reactive-threshold FRACTION``
-re-keys the policy heap the moment a re-measured estimate shifts (see
-``docs/events.md``).  ``--client-clouds GROUPS`` (on ``run`` and on
+re-keys the policy heap the moment a believed bandwidth shifts — probe
+driven by default, with ``--reactive-passive`` extending the trigger to
+every request's passive observation, ``--reactive-hysteresis`` bounding
+churn with a re-arm band, and ``--reactive-rekey-cap`` capping re-keys
+per server (see ``docs/events.md``).  ``--client-clouds GROUPS`` (on ``run`` and on
 ``ingest --compare``) models per-client last-mile bandwidth — one
 cache-to-client path per client group, homogeneous with
 ``--client-bandwidth`` or NLANR-heterogeneous by default (see
@@ -59,6 +62,7 @@ EXPERIMENTS: Dict[str, Callable[..., exp.ExperimentResult]] = {
     "fig11": exp.experiment_fig11_value_variable,
     "fig12": exp.experiment_fig12_value_estimator,
     "hetero": exp.experiment_client_heterogeneity,
+    "reactive": exp.experiment_reactive_rekeying,
     "tab1": exp.experiment_table1_workload,
 }
 
@@ -93,10 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "requests on this cadence (feeds the passive estimator; "
                           "implies the event-capable replay path)")
     run.add_argument("--reactive-threshold", type=float, default=None, metavar="FRACTION",
-                     help="re-key the policy's heap entries as soon as a re-measured "
-                          "path estimate shifts by more than this fraction "
-                          "(requires --knowledge passive and --remeasure-every; "
-                          "see docs/events.md)")
+                     help="re-key the policy's heap entries as soon as a path's "
+                          "believed bandwidth shifts by more than this fraction "
+                          "(requires --knowledge passive plus --remeasure-every "
+                          "and/or --reactive-passive; see docs/events.md)")
+    run.add_argument("--reactive-passive", action="store_true",
+                     help="let every request's passive bandwidth observation "
+                          "drive reactive re-keying too, not only periodic "
+                          "probes (requires --reactive-threshold)")
+    run.add_argument("--reactive-hysteresis", type=float, default=None,
+                     metavar="FRACTION",
+                     help="re-arm band for reactive re-keying: after a re-key "
+                          "the shifted path must return within this fraction of "
+                          "its new anchor before it may trigger again "
+                          "(bounds churn under oscillating bandwidth)")
+    run.add_argument("--reactive-rekey-cap", type=int, default=None, metavar="N",
+                     help="hard per-server budget of reactive re-keys per run; "
+                          "shifts past the budget are counted but not applied")
     run.add_argument("--client-clouds", type=int, default=None, metavar="GROUPS",
                      help="model per-client last-mile bandwidth: the workload gets "
                           "this many distinct clients, hashed into as many last-mile "
@@ -200,6 +217,9 @@ def _run_single(args: argparse.Namespace) -> int:
         remeasurement=remeasurement,
         client_clouds=client_clouds,
         reactive_threshold=args.reactive_threshold,
+        reactive_passive=args.reactive_passive,
+        reactive_hysteresis=args.reactive_hysteresis,
+        reactive_rekey_cap=args.reactive_rekey_cap,
         seed=args.seed,
     )
     policy = make_policy(args.policy, estimator_e=args.estimator_e)
@@ -219,9 +239,15 @@ def _run_single(args: argparse.Namespace) -> int:
         )
         print(f"client clouds: {client_clouds.groups} last-mile groups ({mode})")
     if args.reactive_threshold is not None:
-        print(f"reactive re-keying: {result.reactive_shifts} estimate shifts "
+        sources = "probes + passive requests" if args.reactive_passive else "probes"
+        print(f"reactive re-keying: {result.reactive_shifts} belief shifts "
               f"re-keyed {result.reactive_rekeys} heap entries "
-              f"(threshold {args.reactive_threshold:g})")
+              f"(threshold {args.reactive_threshold:g}, driven by {sources})")
+        if args.reactive_hysteresis is not None:
+            print(f"reactive hysteresis: re-arm band {args.reactive_hysteresis:g}")
+        if args.reactive_rekey_cap is not None:
+            print(f"reactive re-key cap: {args.reactive_rekey_cap} per server "
+                  f"({result.reactive_suppressed} shifts suppressed)")
     for key, value in result.metrics.as_dict().items():
         print(f"{key}: {value:.6g}")
     return 0

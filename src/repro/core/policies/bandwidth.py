@@ -22,6 +22,11 @@ currently *believes* — the oracle long-term average under
 ``BandwidthKnowledge.ORACLE``, or the passive EWMA estimate under
 ``BandwidthKnowledge.PASSIVE``, optionally refreshed *between* requests by
 periodic re-measurement (:mod:`repro.sim.events`, ``docs/events.md``).
+Both policies are ``bandwidth_keyed``: when the believed bandwidth shifts
+out of band — a probe lands, or (with
+``SimulationConfig.reactive_passive``) an ordinary request's passive
+observation moves the estimate — the reactive hook may call
+``on_bandwidth_shift`` to refresh their stale heap keys immediately.
 The ``estimator_e`` under-estimation composes with either source: it is a
 hedge against *variability around* the believed value, while
 re-measurement fights *staleness of* the believed value — the two are

@@ -80,8 +80,11 @@ class CachePolicy(ABC):
     #: Whether :meth:`utility` depends on ``ctx.bandwidth``.  Only
     #: bandwidth-keyed policies react to out-of-band bandwidth shifts
     #: (:meth:`on_bandwidth_shift`); for the others a re-key would either be
-    #: a no-op (frequency-keyed utilities) or outright wrong (recency /
-    #: inflation-keyed utilities must only move on requests).
+    #: a no-op (frequency-keyed utilities) or outright wrong (recency-keyed
+    #: utilities must only move on requests).  Inflation-keyed policies may
+    #: opt in with a re-key that preserves each entry's inflation component
+    #: (GreedyDual's ``"delay"`` cost model does; see
+    #: :meth:`repro.core.policies.greedydual.GreedyDualSizePolicy.on_bandwidth_shift`).
     bandwidth_keyed: bool = False
 
     #: Extra heap entries tolerated before a compaction pays off; keeps tiny
@@ -151,12 +154,15 @@ class CachePolicy(ABC):
         return self._server_objects.get(server_id, [])
 
     def on_bandwidth_shift(self, server_id: int, bandwidth: float, now: float) -> int:
-        """React to an out-of-band shift in one path's believed bandwidth.
+        """React to a shift in one path's believed bandwidth.
 
-        Called by the simulator's reactive re-measurement hook
+        Called by the simulator's reactive hook
         (``SimulationConfig.reactive_threshold``; see ``docs/events.md``)
-        when a periodic probe moves a path's estimate past the configured
-        threshold.  Every tracked object served by ``server_id`` has its
+        when a bandwidth-belief update — a periodic probe, or a passive
+        per-request observation under
+        ``SimulationConfig.reactive_passive`` — moves a path's believed
+        value past the configured threshold (hysteresis- and
+        rate-cap-gated).  Every tracked object served by ``server_id`` has its
         utility recomputed under the new believed ``bandwidth`` (and its
         current frequency estimate) and is re-pushed onto the heap —
         generation-keyed, so the superseded entries become stale garbage

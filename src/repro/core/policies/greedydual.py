@@ -24,6 +24,8 @@ replacement engine, with a pluggable *cost model*:
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.core.policies.base import CachePolicy, PolicyContext
 from repro.exceptions import ConfigurationError
 from repro.units import positive_part
@@ -54,6 +56,18 @@ class GreedyDualSizePolicy(CachePolicy):
         ``"uniform"`` (then the credit is ``L + 1/size``, favouring small
         objects) or ``"size"`` (credit ``L + 1``, which degenerates to
         FIFO-with-inflation).
+
+    Only the ``"delay"`` cost model reads ``ctx.bandwidth``, so only that
+    variant is ``bandwidth_keyed``: under passive bandwidth knowledge its
+    heap keys go stale between requests exactly like PB/IB's, and the
+    reactive hook (``docs/events.md``) may re-key them.  The re-key is
+    **inflation-preserving** (:meth:`on_bandwidth_shift`): a GreedyDual key
+    is ``L_at_key_time + credit``, and a correct re-key must recompute only
+    the credit under the new bandwidth while adding back the inflation the
+    entry was keyed at — recomputing the whole utility with the *current*
+    ``L`` would silently age every re-keyed entry and reorder evictions.
+    ``"uniform"`` and ``"size"`` keys never depend on bandwidth and are
+    never re-keyed.
     """
 
     allows_partial = False
@@ -65,7 +79,11 @@ class GreedyDualSizePolicy(CachePolicy):
             )
         super().__init__(**kwargs)
         self.cost_model = cost_model
+        self.bandwidth_keyed = cost_model == "delay"
         self.inflation = 0.0
+        #: Inflation value each live entry was keyed at; what
+        #: :meth:`on_bandwidth_shift` adds back when recomputing credits.
+        self._keyed_inflation: Dict[int, float] = {}
         self.name = f"GDS({cost_model})"
 
     def credit(self, obj: MediaObject, ctx: PolicyContext) -> float:
@@ -83,9 +101,54 @@ class GreedyDualSizePolicy(CachePolicy):
         # object's credit, so long-resident objects gradually lose ground.
         self.inflation = max(self.inflation, utility)
 
+    def _set_utility(self, object_id: int, utility: float) -> None:
+        super()._set_utility(object_id, utility)
+        self._keyed_inflation[object_id] = self.inflation
+
+    def _drop_utility(self, object_id: int) -> None:
+        super()._drop_utility(object_id)
+        self._keyed_inflation.pop(object_id, None)
+
+    def on_bandwidth_shift(self, server_id: int, bandwidth: float, now: float) -> int:
+        """Inflation-preserving re-key of one server's tracked objects.
+
+        Each affected entry's credit is recomputed under the new believed
+        ``bandwidth`` (and its current frequency estimate, for GDSP) and
+        the inflation the entry was keyed at is added back unchanged —
+        the global inflation value and the relative aging of entries are
+        untouched, so the re-key moves keys only by what the bandwidth
+        shift itself justifies.
+        """
+        if not self.bandwidth_keyed or self._catalog is None:
+            return 0
+        catalog_get = self._catalog.get
+        frequency = self.frequencies.frequency
+        utilities = self._utilities
+        keyed_inflation = self._keyed_inflation
+        rekeyed = 0
+        for object_id in self._objects_on_server(server_id):
+            old_utility = utilities.get(object_id)
+            if old_utility is None:
+                continue
+            entry_inflation = keyed_inflation.get(object_id, self.inflation)
+            ctx = PolicyContext(
+                now=now,
+                bandwidth=float(bandwidth),
+                frequency=frequency(object_id, now),
+            )
+            utility = entry_inflation + self.credit(catalog_get(object_id), ctx)
+            if utility != old_utility:
+                self._set_utility(object_id, utility)
+                # _set_utility stamps the current global inflation; restore
+                # the entry's own inflation so the re-key preserves it.
+                keyed_inflation[object_id] = entry_inflation
+                rekeyed += 1
+        return rekeyed
+
     def reset(self) -> None:
         super().reset()
         self.inflation = 0.0
+        self._keyed_inflation.clear()
 
 
 class PopularityAwareGreedyDualSizePolicy(GreedyDualSizePolicy):

@@ -16,6 +16,12 @@ Three online policies implement this idea:
   variant of Section 4.4.
 * **HybridPartialBandwidthValue** — PB-V with the bandwidth under-estimated
   by a factor ``e`` (Figure 12); ``e ≈ 0.5`` is the paper's sweet spot.
+
+All three are ``bandwidth_keyed``: their profit densities divide by the
+believed bandwidth, so under passive knowledge the reactive hook
+(``docs/events.md``) re-keys their heap entries when a probe or — with
+``SimulationConfig.reactive_passive`` — a per-request passive observation
+shifts a path's estimate past the configured threshold.
 """
 
 from __future__ import annotations

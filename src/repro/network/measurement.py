@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -157,6 +157,18 @@ class PassiveEstimator:
     Each completed transfer to a server contributes one throughput sample;
     the estimator keeps an exponentially weighted moving average per server.
     Policies then use :meth:`estimate` instead of the oracle base bandwidth.
+
+    Besides the per-server mode, the estimator has a ``(server_id,
+    group_id)`` keyed mode for **per-group last-mile estimation**
+    (``docs/clients.md``): when the simulator models a heterogeneous client
+    cloud, each request's *delivered* throughput — the bottleneck of the
+    origin hop and the client group's last mile — can be recorded per
+    ``(server, client group)`` pair with :meth:`observe_group`, so the
+    cache learns what each client population actually obtains from each
+    server rather than assuming its client side is perfectly known.
+    :meth:`estimate_group` falls back to the per-server estimate (and then
+    to ``initial_estimate``) until the pair has its first sample, so the
+    group view degrades gracefully to the origin view.
     """
 
     def __init__(self, smoothing: float = 0.25, initial_estimate: float = 100.0):
@@ -170,6 +182,8 @@ class PassiveEstimator:
         self.initial_estimate = float(initial_estimate)
         self._estimates: Dict[int, float] = {}
         self._sample_counts: Dict[int, int] = {}
+        self._group_estimates: Dict[Tuple[int, int], float] = {}
+        self._group_sample_counts: Dict[Tuple[int, int], int] = {}
 
     def observe(self, server_id: int, throughput: float) -> float:
         """Record a throughput sample (KB/s) and return the new estimate."""
@@ -191,18 +205,65 @@ class PassiveEstimator:
         """Current bandwidth estimate for a server (KB/s)."""
         return self._estimates.get(server_id, self.initial_estimate)
 
+    def observe_group(self, server_id: int, group_id: int, throughput: float) -> float:
+        """Record one delivered-throughput sample for a ``(server, group)`` pair.
+
+        Same EWMA update as :meth:`observe`, kept in a separate keyed space:
+        group samples never disturb the per-server origin estimates (and
+        vice versa), so enabling per-group estimation cannot change what a
+        group-unaware policy believes.  Returns the new group estimate.
+        """
+        if throughput <= 0:
+            raise MeasurementError(
+                f"throughput must be positive, got {throughput} for server "
+                f"{server_id} group {group_id}"
+            )
+        key = (server_id, group_id)
+        if key not in self._group_estimates:
+            self._group_estimates[key] = throughput
+        else:
+            previous = self._group_estimates[key]
+            self._group_estimates[key] = (
+                (1.0 - self.smoothing) * previous + self.smoothing * throughput
+            )
+        self._group_sample_counts[key] = self._group_sample_counts.get(key, 0) + 1
+        return self._group_estimates[key]
+
+    def estimate_group(self, server_id: int, group_id: int) -> float:
+        """Delivered-bandwidth estimate for one ``(server, group)`` pair (KB/s).
+
+        Falls back to the per-server estimate until the pair has observed
+        its first sample, so callers can use the group view unconditionally.
+        """
+        value = self._group_estimates.get((server_id, group_id))
+        if value is not None:
+            return value
+        return self.estimate(server_id)
+
     def sample_count(self, server_id: int) -> int:
         """How many samples have been observed for a server."""
         return self._sample_counts.get(server_id, 0)
+
+    def group_sample_count(self, server_id: int, group_id: int) -> int:
+        """How many samples have been observed for a ``(server, group)`` pair."""
+        return self._group_sample_counts.get((server_id, group_id), 0)
 
     def known_servers(self) -> List[int]:
         """Servers for which at least one sample has been observed."""
         return sorted(self._estimates.keys())
 
+    def known_groups(self, server_id: int) -> List[int]:
+        """Client groups with at least one sample for the given server."""
+        return sorted(
+            group for (server, group) in self._group_estimates if server == server_id
+        )
+
     def reset(self) -> None:
         """Forget all observations."""
         self._estimates.clear()
         self._sample_counts.clear()
+        self._group_estimates.clear()
+        self._group_sample_counts.clear()
 
 
 class BandwidthMeasurementLog:

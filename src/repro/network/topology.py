@@ -106,6 +106,19 @@ class ClientCloud:
             return self.last_mile_bandwidth
         return path.base_bandwidth
 
+    def group_caps(self) -> Optional[Tuple[float, ...]]:
+        """Per-group last-mile base bandwidths, in group order.
+
+        ``None`` when the hop is unmodeled.  This is the cap sequence the
+        reactive rekeyer (``repro.sim.events.ReactiveRekeyer``) keys its
+        per-group anchors on: a request from group ``g`` never believes
+        more than ``group_caps()[g]``, so estimate movement above a group's
+        cap is invisible to that group's requests.
+        """
+        if self.paths is None:
+            return None
+        return tuple(path.base_bandwidth for path in self.paths)
+
     @classmethod
     def homogeneous(
         cls,
@@ -215,6 +228,10 @@ class DeliveryTopology:
     def last_mile_for(self, client_id: int) -> Optional[NetworkPath]:
         """Last-mile path of a client's group (``None`` when unmodeled)."""
         return self.clients.last_mile_for(client_id)
+
+    def last_mile_caps(self) -> Optional[Tuple[float, ...]]:
+        """Per-group last-mile base bandwidths (``None`` when unmodeled)."""
+        return self.clients.group_caps()
 
     def servers(self) -> List[OriginServer]:
         """Group catalog objects by hosting server."""

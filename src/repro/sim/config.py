@@ -56,6 +56,17 @@ class ClientCloudConfig:
     batched draws stay available); ``seed`` adds entropy to the cloud's
     dedicated random stream — last-mile construction and per-request draws
     never touch the request stream's generator (see ``docs/clients.md``).
+
+    ``estimate_last_mile`` opts the reactive hook into **per-group
+    last-mile estimation**: under passive-driven re-keying
+    (:attr:`SimulationConfig.reactive_passive`) each request's *delivered*
+    throughput — the bottleneck of the origin hop and the client group's
+    last mile — is recorded in the estimator's ``(server, group)`` keyed
+    mode, and the rekeyer compares each group's view on its own delivered
+    trajectory instead of the origin estimate capped at the group base.  A
+    last-mile degradation invisible to the origin estimate can then still
+    re-key the heap.  Metric arithmetic is untouched either way (the group
+    estimates live in a separate keyed space).
     """
 
     groups: int = 1
@@ -63,6 +74,7 @@ class ClientCloudConfig:
     distribution: Optional[BandwidthDistribution] = None
     variability: Optional[BandwidthVariabilityModel] = None
     seed: int = 0
+    estimate_last_mile: bool = False
 
     def __post_init__(self) -> None:
         if self.groups <= 0:
@@ -140,12 +152,30 @@ class SimulationConfig:
         abundant-last-mile assumption; see ``docs/clients.md``.
     reactive_threshold:
         Optional fractional threshold enabling the reactive policy hook:
-        when a periodic re-measurement moves a path's passive estimate by
-        more than this fraction relative to the estimate the policy was
-        last re-keyed at, the active policy's heap entries for objects on
-        that path are re-keyed immediately instead of waiting for the next
-        request.  Requires ``remeasurement`` and
-        ``BandwidthKnowledge.PASSIVE``; see ``docs/events.md``.
+        when a bandwidth-belief update (a periodic re-measurement probe, or
+        — with ``reactive_passive`` — an ordinary request's passive
+        observation) moves a path's believed bandwidth by more than this
+        fraction relative to the value the policy was last re-keyed at,
+        the active policy's heap entries for objects on that path are
+        re-keyed immediately instead of waiting for the next request.
+        Requires ``BandwidthKnowledge.PASSIVE`` and at least one shift
+        source (``remeasurement`` or ``reactive_passive``); see
+        ``docs/events.md``.
+    reactive_passive:
+        When True, the passive per-request observations themselves drive
+        the reactive hook on every replay path — the paper's "free"
+        measurements can move heap keys without waiting for a probe.
+        Requires ``reactive_threshold``.
+    reactive_hysteresis:
+        Optional re-arm band (fraction, in ``(0, reactive_threshold]``):
+        after a re-key the shifted view is disarmed and only re-arms once
+        its believed bandwidth re-enters ``hysteresis x anchor`` of the new
+        anchor, so an oscillating estimate cannot re-key on every swing.
+        ``None`` (default) keeps every view always armed.
+    reactive_rekey_cap:
+        Optional hard per-server budget of reactive re-keys per run; shifts
+        past the budget are counted on
+        ``SimulationResult.reactive_suppressed`` instead of re-keying.
     seed:
         Seed for the simulation's random number generator (path bandwidth
         assignment and per-request variability draws).
@@ -166,6 +196,9 @@ class SimulationConfig:
     remeasurement: Optional[RemeasurementConfig] = None
     client_clouds: Optional[ClientCloudConfig] = None
     reactive_threshold: Optional[float] = None
+    reactive_passive: bool = False
+    reactive_hysteresis: Optional[float] = None
+    reactive_rekey_cap: Optional[int] = None
     seed: int = 0
     verify_store: bool = False
 
@@ -191,15 +224,40 @@ class SimulationConfig:
                 raise ConfigurationError(
                     f"reactive_threshold must be positive, got {self.reactive_threshold}"
                 )
-            if self.remeasurement is None:
+            if self.remeasurement is None and not self.reactive_passive:
                 raise ConfigurationError(
-                    "reactive_threshold requires remeasurement: without periodic "
-                    "re-measurement there is no out-of-band estimate shift to react to"
+                    "reactive_threshold requires a shift source: enable periodic "
+                    "remeasurement, passive-driven re-keying (reactive_passive), "
+                    "or both"
                 )
             if self.bandwidth_knowledge is not BandwidthKnowledge.PASSIVE:
                 raise ConfigurationError(
                     "reactive_threshold requires BandwidthKnowledge.PASSIVE: under "
                     "oracle knowledge the believed bandwidth never shifts"
+                )
+        elif self.reactive_passive:
+            raise ConfigurationError(
+                "reactive_passive requires reactive_threshold: without a "
+                "threshold no shift is ever actionable"
+            )
+        if self.reactive_hysteresis is not None:
+            if self.reactive_threshold is None:
+                raise ConfigurationError(
+                    "reactive_hysteresis requires reactive_threshold"
+                )
+            if not 0.0 < self.reactive_hysteresis <= self.reactive_threshold:
+                raise ConfigurationError(
+                    f"reactive_hysteresis must be in (0, reactive_threshold="
+                    f"{self.reactive_threshold}], got {self.reactive_hysteresis}"
+                )
+        if self.reactive_rekey_cap is not None:
+            if self.reactive_threshold is None:
+                raise ConfigurationError(
+                    "reactive_rekey_cap requires reactive_threshold"
+                )
+            if self.reactive_rekey_cap <= 0:
+                raise ConfigurationError(
+                    f"reactive_rekey_cap must be positive, got {self.reactive_rekey_cap}"
                 )
 
     @property

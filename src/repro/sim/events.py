@@ -243,48 +243,90 @@ class BandwidthRemeasurement(PeriodicEvent):
         if self.log is not None:
             self.log.record(now, server_id, sample)
         if self.estimator is not None:
-            self.estimator.observe(server_id, sample)
-            if self.listener is not None:
-                self.listener.notify(now, server_id)
+            listener = self.listener
+            if listener is not None:
+                # The anchor must seed from the estimate the policy actually
+                # keyed at, i.e. the value *before* this sample lands — so
+                # the very first probe can already trigger a re-key.
+                prior = self.estimator.estimate(server_id)
+                self.estimator.observe(server_id, sample)
+                listener.notify(now, server_id, prior)
+            else:
+                self.estimator.observe(server_id, sample)
 
 
 class ReactiveRekeyer:
-    """Threshold-gated bridge from re-measurement shifts to the policy.
+    """Threshold-gated bridge from bandwidth-belief shifts to the policy.
 
     Passive estimation updates a path's believed bandwidth the moment a
-    re-measurement sample lands, but a policy's *heap keys* only refresh
-    when the next request happens to touch an object on that path — stale
-    keys can mis-order evictions for exactly the cold servers out-of-band
-    measurement exists to cover.  The rekeyer closes that window: after
-    every re-measurement sample it compares the path's new estimate against
-    the estimate the policy was last re-keyed at (the *anchor*; the first
-    sample seeds it) and, when the relative shift exceeds ``threshold``,
-    calls :meth:`~repro.core.policies.base.CachePolicy.on_bandwidth_shift`
-    so the policy re-keys the affected heap entries immediately —
+    sample lands — a periodic re-measurement probe or an ordinary request's
+    transfer — but a policy's *heap keys* only refresh when the next
+    request happens to touch an object on that path: stale keys can
+    mis-order evictions for exactly the cold servers measurement exists to
+    cover.  The rekeyer closes that window.  After every sample it compares
+    the path's new believed value against the value the policy was last
+    re-keyed at (the *anchor*, seeded from the estimate the policy actually
+    keyed at before the first sample, so a first sample of any magnitude
+    can already trigger) and, when the relative shift exceeds
+    ``threshold``, calls
+    :meth:`~repro.core.policies.base.CachePolicy.on_bandwidth_shift` so the
+    policy re-keys the affected heap entries immediately —
     generation-keyed, reusing the existing lazy-invalidation/compaction
     machinery.
 
-    Both event-capable replay paths fire re-measurements in the same order,
-    so reactive runs stay bit-identical across them (asserted in
-    ``tests/test_sim_clients.py``).  ``shifts`` counts threshold crossings,
-    ``entries_rekeyed`` the heap entries actually re-pushed.
+    Two notification sources share the machinery:
 
-    ``bandwidth_cap`` keeps the hook consistent with per-client last-mile
-    composition (``docs/clients.md``): requests key the heap at
-    ``min(estimate, client last-mile base)``, so when a client cloud binds,
-    the rekeyer compares and re-keys at the estimate capped to the cloud's
-    *largest* group base — estimate movement entirely above the cap changes
-    nothing any request would believe, and triggers no re-key.
+    * **probe-driven** — :class:`BandwidthRemeasurement` firings call
+      :meth:`notify` with no group (the origin view);
+    * **passive-driven** — with
+      :attr:`~repro.sim.config.SimulationConfig.reactive_passive` enabled,
+      every replay loop calls :meth:`observe_request` after the request's
+      estimator update, tagged with the requesting client group.
+
+    All replay paths process requests (and fire probes) in the same order,
+    so reactive runs stay bit-identical across them (asserted in
+    ``tests/test_sim_reactive.py``).  Churn is bounded two ways:
+
+    * ``hysteresis`` — after a re-key the shifted view is *disarmed*; it
+      re-arms only once its believed value re-enters the band
+      ``|believed - anchor| <= hysteresis * anchor``, so an estimate
+      oscillating between two distant values cannot re-key on every swing;
+    * ``rekey_cap`` — a hard per-server budget of re-keys per run; shifts
+      past the budget are counted in ``suppressed`` instead of re-keying.
+
+    Anchors and caps are kept **per client group** (``docs/clients.md``):
+    a request from group ``g`` keys the heap at
+    ``min(estimate, group_caps[g])``, so each group's view is compared
+    against its own cap and its own anchor — a single global cap (the old
+    behaviour, still expressible as ``bandwidth_cap=``) cannot represent
+    what a slower group's requests actually keyed at.  With
+    ``group_estimation`` enabled the group views read the estimator's
+    ``(server, group)`` delivered-bandwidth estimates, so a last-mile
+    degradation invisible to the origin estimate still re-keys.  Re-keys
+    themselves happen at the estimate capped to the *largest* group base —
+    the most any request believes.
+
+    ``shifts`` counts threshold crossings that re-keyed,
+    ``entries_rekeyed`` the heap entries re-pushed, ``suppressed`` the
+    crossings the per-server cap swallowed, and ``rekeys_by_server`` the
+    per-server re-key counts the cap bounds.
     """
 
     __slots__ = (
         "policy",
         "estimator",
         "threshold",
-        "bandwidth_cap",
+        "hysteresis",
+        "rekey_cap",
+        "group_caps",
+        "group_estimation",
         "shifts",
         "entries_rekeyed",
+        "suppressed",
+        "rekeys_by_server",
+        "_max_cap",
         "_anchors",
+        "_disarmed",
     )
 
     def __init__(
@@ -293,39 +335,184 @@ class ReactiveRekeyer:
         estimator: "PassiveEstimator",
         threshold: float,
         bandwidth_cap: Optional[float] = None,
+        group_caps: Optional[Sequence[float]] = None,
+        hysteresis: Optional[float] = None,
+        rekey_cap: Optional[int] = None,
+        group_estimation: bool = False,
     ):
         if threshold <= 0:
             raise ConfigurationError(
                 f"reactive threshold must be positive, got {threshold}"
             )
-        if bandwidth_cap is not None and bandwidth_cap <= 0:
+        if bandwidth_cap is not None:
+            if bandwidth_cap <= 0:
+                raise ConfigurationError(
+                    f"bandwidth_cap must be positive, got {bandwidth_cap}"
+                )
+            if group_caps is not None:
+                raise ConfigurationError(
+                    "give either the legacy single bandwidth_cap or per-group "
+                    "group_caps, not both"
+                )
+            group_caps = (bandwidth_cap,)
+        if group_caps is not None:
+            group_caps = tuple(float(cap) for cap in group_caps)
+            if not group_caps:
+                raise ConfigurationError("group_caps must be non-empty when given")
+            for cap in group_caps:
+                if cap <= 0:
+                    raise ConfigurationError(
+                        f"group caps must be positive, got {cap}"
+                    )
+        if hysteresis is not None and not 0.0 < hysteresis <= threshold:
             raise ConfigurationError(
-                f"bandwidth_cap must be positive, got {bandwidth_cap}"
+                f"hysteresis must be in (0, threshold={threshold}], got {hysteresis}"
+            )
+        if rekey_cap is not None and rekey_cap <= 0:
+            raise ConfigurationError(
+                f"rekey_cap must be positive, got {rekey_cap}"
             )
         self.policy = policy
         self.estimator = estimator
         self.threshold = float(threshold)
-        self.bandwidth_cap = bandwidth_cap
+        self.hysteresis = hysteresis
+        self.rekey_cap = rekey_cap
+        self.group_caps = group_caps
+        self.group_estimation = bool(group_estimation)
         self.shifts = 0
         self.entries_rekeyed = 0
-        self._anchors: Dict[int, float] = {}
+        self.suppressed = 0
+        self.rekeys_by_server: Dict[int, int] = {}
+        max_cap = max(group_caps) if group_caps else None
+        self._max_cap = None if max_cap == float("inf") else max_cap
+        #: Anchors nested per server: ``{server_id: {group_id: anchor}}``
+        #: with ``None`` as the group of the origin (probe-driven) view.
+        #: Nesting keeps a trigger's re-anchor sweep O(that server's views)
+        #: instead of O(every view of every server).
+        self._anchors: Dict[int, Dict[Optional[int], float]] = {}
+        #: Views waiting to re-enter the hysteresis band before they may
+        #: trigger again (only populated when ``hysteresis`` is set).
+        self._disarmed: Dict[int, Dict[Optional[int], bool]] = {}
 
-    def notify(self, now: float, server_id: int) -> None:
-        """Consider re-keying after one re-measurement sample landed."""
-        estimate = self.estimator.estimate(server_id)
-        if self.bandwidth_cap is not None and estimate > self.bandwidth_cap:
-            estimate = self.bandwidth_cap
-        anchor = self._anchors.get(server_id)
+    @property
+    def bandwidth_cap(self) -> Optional[float]:
+        """Largest believed bandwidth any request holds (legacy view)."""
+        return self._max_cap
+
+    def _cap_for(self, group_id: Optional[int]) -> Optional[float]:
+        """The believed-bandwidth ceiling of one view (``None`` = uncapped)."""
+        if self.group_caps is None:
+            return None
+        if group_id is None:
+            return self._max_cap
+        cap = self.group_caps[group_id % len(self.group_caps)]
+        return None if cap == float("inf") else cap
+
+    def observe_request(
+        self,
+        now: float,
+        server_id: int,
+        group_id: Optional[int],
+        prior_estimate: float,
+        delivered: float,
+    ) -> None:
+        """Passive-driven notification after one request's estimator update.
+
+        ``prior_estimate`` is the origin estimate the request's policy
+        decision keyed at (read *before* the request's sample was
+        observed); ``delivered`` is the throughput the request actually
+        experienced (bottleneck of both hops).  With ``group_estimation``
+        the delivered sample feeds the estimator's ``(server, group)`` mode
+        and the group view is compared on its own estimate trajectory.
+        """
+        if group_id is not None and self.group_estimation:
+            if self.estimator.group_sample_count(server_id, group_id) > 0:
+                prior = self.estimator.estimate_group(server_id, group_id)
+            else:
+                # First sample for this pair: estimate_group would fall
+                # back to the *post-sample* origin estimate (the loops
+                # observe the origin before notifying), which would seed
+                # the anchor at the new belief and swallow the first shift
+                # — the very bug the anchor-seeding fix removed.  The
+                # pre-sample origin estimate is what this view keyed at.
+                prior = prior_estimate
+            self.estimator.observe_group(server_id, group_id, delivered)
+            self.notify(now, server_id, prior, group_id=group_id)
+        else:
+            self.notify(now, server_id, prior_estimate, group_id=group_id)
+
+    def notify(
+        self,
+        now: float,
+        server_id: int,
+        prior_estimate: float,
+        group_id: Optional[int] = None,
+    ) -> None:
+        """Consider re-keying after one sample landed on one view.
+
+        ``prior_estimate`` seeds the view's anchor on first contact: it
+        must be the estimate the policy's existing heap keys were built at
+        (the value *before* the sample), not the post-sample estimate —
+        seeding from the latter silently swallows a first shift of any
+        magnitude.
+        """
+        if group_id is not None and self.group_estimation:
+            estimate = self.estimator.estimate_group(server_id, group_id)
+        else:
+            estimate = self.estimator.estimate(server_id)
+        cap = self._cap_for(group_id)
+        believed = estimate if cap is None or estimate <= cap else cap
+        views = self._anchors.get(server_id)
+        if views is None:
+            views = self._anchors[server_id] = {}
+        anchor = views.get(group_id)
         if anchor is None:
-            self._anchors[server_id] = estimate
+            prior = prior_estimate
+            if cap is not None and prior > cap:
+                prior = cap
+            views[group_id] = anchor = prior
+        disarmed = self._disarmed.get(server_id)
+        if disarmed is not None and disarmed.get(group_id):
+            if abs(believed - anchor) <= self.hysteresis * anchor:
+                disarmed[group_id] = False
             return
-        if abs(estimate - anchor) <= self.threshold * anchor:
+        if abs(believed - anchor) <= self.threshold * anchor:
+            return
+        if (
+            self.rekey_cap is not None
+            and self.rekeys_by_server.get(server_id, 0) >= self.rekey_cap
+        ):
+            self.suppressed += 1
             return
         self.shifts += 1
-        self.entries_rekeyed += self.policy.on_bandwidth_shift(
-            server_id, estimate, now
+        self.rekeys_by_server[server_id] = (
+            self.rekeys_by_server.get(server_id, 0) + 1
         )
-        self._anchors[server_id] = estimate
+        rekey_bandwidth = estimate
+        if self._max_cap is not None and rekey_bandwidth > self._max_cap:
+            rekey_bandwidth = self._max_cap
+        self.entries_rekeyed += self.policy.on_bandwidth_shift(
+            server_id, rekey_bandwidth, now
+        )
+        # Every tracked view of this server was just re-keyed: re-anchor
+        # them all at their newly believed values, and (under hysteresis)
+        # disarm them until their estimates settle back into the band.
+        views[group_id] = believed
+        for other_group in views:
+            if other_group == group_id:
+                continue
+            if other_group is not None and self.group_estimation:
+                other_estimate = self.estimator.estimate_group(
+                    server_id, other_group
+                )
+            else:
+                other_estimate = self.estimator.estimate(server_id)
+            other_cap = self._cap_for(other_group)
+            if other_cap is not None and other_estimate > other_cap:
+                other_estimate = other_cap
+            views[other_group] = other_estimate
+        if self.hysteresis is not None:
+            self._disarmed[server_id] = {group: True for group in views}
 
 
 class AuxiliarySchedule:

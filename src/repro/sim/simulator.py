@@ -46,7 +46,7 @@ hops — see ``docs/clients.md``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -90,7 +90,12 @@ class SimulationResult:
     run had re-measurement configured.  ``reactive_shifts`` /
     ``reactive_rekeys`` count the threshold crossings and heap entries
     re-keyed by the reactive hook
-    (:attr:`~repro.sim.config.SimulationConfig.reactive_threshold`).
+    (:attr:`~repro.sim.config.SimulationConfig.reactive_threshold`);
+    ``reactive_suppressed`` counts crossings swallowed by the per-server
+    re-key budget
+    (:attr:`~repro.sim.config.SimulationConfig.reactive_rekey_cap`), and
+    ``reactive_rekeys_by_server`` the per-server re-key counts that budget
+    bounds.
     """
 
     metrics: SimulationMetrics
@@ -105,6 +110,8 @@ class SimulationResult:
     measurement_log: Optional[BandwidthMeasurementLog] = None
     reactive_shifts: int = 0
     reactive_rekeys: int = 0
+    reactive_suppressed: int = 0
+    reactive_rekeys_by_server: Dict[int, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten result and headline metrics into one dictionary."""
@@ -243,18 +250,20 @@ class ProxyCacheSimulator:
     def _last_mile_sequences(
         self, topology: DeliveryTopology, trace
     ) -> Optional[tuple]:
-        """Per-request last-mile ``(base, observed)`` bandwidth sequences.
+        """Per-request last-mile ``(base, observed, group)`` sequences.
 
         Returns ``None`` when the topology's client cloud has no modeled
         last-mile paths — the replay loops then skip the composition
         entirely, reproducing the pre-heterogeneity arithmetic exactly.
 
         Otherwise every request is resolved to its client's group path
-        (``client_id % groups``) and two aligned lists are returned: the
+        (``client_id % groups``) and three aligned lists are returned: the
         group's *base* bandwidth (what the cache believes its own last mile
         sustains — the cache knows its client side, so no estimator is
-        involved) and the *observed* last-mile bandwidth for that request
-        (base modulated by the group's variability model).  All draws come
+        involved), the *observed* last-mile bandwidth for that request
+        (base modulated by the group's variability model), and the
+        request's client-group index (consumed by the reactive rekeyer's
+        per-group anchors; see :mod:`repro.sim.events`).  All draws come
         from the cloud's dedicated generator, in request order, computed
         once per run *before* replay starts — which is what makes the
         composition bit-identical across all four replay paths by
@@ -287,7 +296,7 @@ class ProxyCacheSimulator:
             group_list = groups.tolist()
             for index in range(total):
                 observed[index] = paths[group_list[index]].observed_bandwidth(rng)
-        return base.tolist(), observed.tolist()
+        return base.tolist(), observed.tolist(), groups.tolist()
 
     def run(
         self,
@@ -346,23 +355,27 @@ class ProxyCacheSimulator:
             and estimator is not None
             and hasattr(policy, "on_bandwidth_shift")
         ):
-            # With a modeled client cloud, no request ever believes more
-            # than the largest last-mile base; cap re-keys there too so
-            # shift detection and heap keys stay consistent with the
-            # per-request composition.
-            cloud_paths = getattr(topology.clients, "paths", None)
-            bandwidth_cap = (
-                max(path.base_bandwidth for path in cloud_paths)
-                if cloud_paths
-                else None
-            )
-            if bandwidth_cap == float("inf"):
-                bandwidth_cap = None
+            # With a modeled client cloud, a request from group g never
+            # believes more than that group's last-mile base; the rekeyer
+            # keeps one anchor per (server, group) view so shift detection
+            # and heap keys stay consistent with the per-request
+            # composition.  An all-inf cloud degrades to the uncapped view.
+            group_caps = topology.last_mile_caps()
+            if group_caps is not None and all(
+                cap == float("inf") for cap in group_caps
+            ):
+                group_caps = None
             rekeyer = ReactiveRekeyer(
                 policy,
                 estimator,
                 self.config.reactive_threshold,
-                bandwidth_cap=bandwidth_cap,
+                group_caps=group_caps,
+                hysteresis=self.config.reactive_hysteresis,
+                rekey_cap=self.config.reactive_rekey_cap,
+                group_estimation=(
+                    self.config.client_clouds is not None
+                    and self.config.client_clouds.estimate_last_mile
+                ),
             )
         schedule = self.build_auxiliary_schedule(
             topology, estimator, measurement_log, rekeyer
@@ -387,6 +400,9 @@ class ProxyCacheSimulator:
         )
 
         last_mile = self._last_mile_sequences(topology, trace)
+        # Passive-driven re-keying: the replay loops notify the rekeyer
+        # after every request's estimator update (docs/events.md).
+        passive_rekeyer = rekeyer if self.config.reactive_passive else None
 
         if mode == "fast":
             self._replay_fast(
@@ -398,6 +414,7 @@ class ProxyCacheSimulator:
                 rng,
                 warmup_cutoff,
                 last_mile,
+                passive_rekeyer,
             )
         elif mode == "columnar-event":
             self._replay_events_columnar(
@@ -411,6 +428,7 @@ class ProxyCacheSimulator:
                 warmup_cutoff,
                 dense_bound,
                 last_mile,
+                passive_rekeyer,
             )
         else:
             schedule.schedule_into(engine)
@@ -424,6 +442,7 @@ class ProxyCacheSimulator:
                 rng,
                 warmup_cutoff,
                 last_mile,
+                passive_rekeyer,
             )
 
         return SimulationResult(
@@ -439,6 +458,10 @@ class ProxyCacheSimulator:
             measurement_log=measurement_log,
             reactive_shifts=rekeyer.shifts if rekeyer is not None else 0,
             reactive_rekeys=rekeyer.entries_rekeyed if rekeyer is not None else 0,
+            reactive_suppressed=rekeyer.suppressed if rekeyer is not None else 0,
+            reactive_rekeys_by_server=(
+                dict(rekeyer.rekeys_by_server) if rekeyer is not None else {}
+            ),
         )
 
     @staticmethod
@@ -494,6 +517,7 @@ class ProxyCacheSimulator:
         rng: np.random.Generator,
         warmup_cutoff: int,
         last_mile: Optional[tuple] = None,
+        rekeyer: Optional[ReactiveRekeyer] = None,
     ) -> None:
         """Dispatch every request through the discrete-event engine.
 
@@ -503,10 +527,14 @@ class ProxyCacheSimulator:
         and the bandwidth the policy believes is capped by the client
         group's last-mile base.  The passive estimator keeps observing the
         *origin* draw — it estimates the cache-to-server hop, which the
-        cache cannot conflate with its own (known) client side.
+        cache cannot conflate with its own (known) client side.  ``rekeyer``
+        (set when the run is passive-driven reactive) is notified after the
+        estimator update, in the same position on every replay path.
         """
         catalog = self.workload.catalog
-        lm_base, lm_observed = last_mile if last_mile is not None else (None, None)
+        lm_base, lm_observed, lm_groups = (
+            last_mile if last_mile is not None else (None, None, None)
+        )
 
         def handle_request(engine: SimulationEngine, payload) -> None:
             index, request = payload
@@ -524,6 +552,7 @@ class ProxyCacheSimulator:
                 believed_bandwidth = estimator.estimate(obj.server_id)
             else:
                 believed_bandwidth = path.base_bandwidth
+            prior_estimate = believed_bandwidth
             if lm_base is not None:
                 cap = lm_base[index]
                 if cap < believed_bandwidth:
@@ -536,6 +565,14 @@ class ProxyCacheSimulator:
             policy.on_request(obj, believed_bandwidth, engine.now, store)
             if estimator is not None:
                 estimator.observe(obj.server_id, origin_observed)
+                if rekeyer is not None:
+                    rekeyer.observe_request(
+                        engine.now,
+                        obj.server_id,
+                        lm_groups[index] if lm_groups is not None else None,
+                        prior_estimate,
+                        observed_bandwidth,
+                    )
             if self.config.verify_store and not store.verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "
@@ -581,6 +618,7 @@ class ProxyCacheSimulator:
         rng: np.random.Generator,
         warmup_cutoff: int,
         last_mile: Optional[tuple] = None,
+        rekeyer: Optional[ReactiveRekeyer] = None,
     ) -> None:
         """Iterate the trace in a tight loop, bypassing the event calendar.
 
@@ -612,6 +650,7 @@ class ProxyCacheSimulator:
                     warmup_cutoff,
                     max_id,
                     last_mile,
+                    rekeyer,
                 )
 
         ratio_array = self._predraw_ratios(topology, rng, len(trace))
@@ -633,7 +672,10 @@ class ProxyCacheSimulator:
         # before replay starts), so caching it is safe.
         resolved: Dict[int, tuple] = {}
         ratios = ratio_array.tolist() if ratio_array is not None else None
-        lm_base, lm_observed = last_mile if last_mile is not None else (None, None)
+        lm_base, lm_observed, lm_groups = (
+            last_mile if last_mile is not None else (None, None, None)
+        )
+        rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
 
         measuring = collector.measuring
         m_requests = 0
@@ -700,6 +742,7 @@ class ProxyCacheSimulator:
                 believed = estimator_estimate(server_id)
             else:
                 believed = base_bw
+            prior_estimate = believed
             if lm_base is not None:
                 cap = lm_base[index]
                 if cap < believed:
@@ -749,6 +792,14 @@ class ProxyCacheSimulator:
             policy_on_request(obj, believed, req_time, store)
             if estimator_observe is not None:
                 estimator_observe(server_id, origin_observed)
+                if rekeyer_request is not None:
+                    rekeyer_request(
+                        req_time,
+                        server_id,
+                        lm_groups[index] if lm_groups is not None else None,
+                        prior_estimate,
+                        observed,
+                    )
             if verify_store and not verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "
@@ -785,6 +836,7 @@ class ProxyCacheSimulator:
         warmup_cutoff: int,
         max_id: int,
         last_mile: Optional[tuple] = None,
+        rekeyer: Optional[ReactiveRekeyer] = None,
     ) -> None:
         """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
 
@@ -805,6 +857,7 @@ class ProxyCacheSimulator:
             warmup_cutoff,
             max_id,
             last_mile,
+            rekeyer,
         )
 
     # ------------------------------------------------------------------
@@ -822,6 +875,7 @@ class ProxyCacheSimulator:
         warmup_cutoff: int,
         max_id: int,
         last_mile: Optional[tuple] = None,
+        rekeyer: Optional[ReactiveRekeyer] = None,
     ) -> None:
         """Event-capable replay over a dense-id columnar trace.
 
@@ -890,7 +944,10 @@ class ProxyCacheSimulator:
             np.maximum(observed_array, 1.0, out=observed_array)
             observed_seq = observed_array.tolist()
 
-        lm_base, lm_observed = last_mile if last_mile is not None else (None, None)
+        lm_base, lm_observed, lm_groups = (
+            last_mile if last_mile is not None else (None, None, None)
+        )
+        rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
 
         aux_heap = schedule.begin()
         fire_before = schedule.fire_before
@@ -937,6 +994,7 @@ class ProxyCacheSimulator:
                 believed = estimator_estimate(server_id)
             else:
                 believed = base_bw
+            prior_estimate = believed
             if lm_base is not None:
                 cap = lm_base[index]
                 if cap < believed:
@@ -986,6 +1044,14 @@ class ProxyCacheSimulator:
             policy_on_request(obj, believed, req_time, store)
             if estimator_observe is not None:
                 estimator_observe(server_id, origin_observed)
+                if rekeyer_request is not None:
+                    rekeyer_request(
+                        req_time,
+                        server_id,
+                        lm_groups[index] if lm_groups is not None else None,
+                        prior_estimate,
+                        observed,
+                    )
             if verify_store and not verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "

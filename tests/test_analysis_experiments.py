@@ -13,6 +13,7 @@ from repro.analysis.experiments import (
     experiment_fig6_zipf_sweep,
     experiment_fig9_estimator_sweep,
     experiment_fig10_value_constant,
+    experiment_reactive_rekeying,
     experiment_table1_workload,
 )
 from repro.exceptions import ConfigurationError
@@ -94,6 +95,26 @@ class TestSimulationExperiments:
     def test_experiments_record_paper_notes(self):
         result = experiment_fig5_constant_bandwidth(**TINY)
         assert any("traffic reduction" in note.lower() for note in result.notes)
+
+    def test_reactive_ablation_settings_and_counters(self):
+        result = experiment_reactive_rekeying(
+            policies=("PB",), scale=0.01, num_runs=1, seed=0
+        )
+        settings = result.data["settings"]
+        assert settings == [
+            "passive", "remeasured", "reactive-probe", "reactive-passive"
+        ]
+        comparisons = result.data["comparisons_by_setting"]
+        counters = result.data["reactive_counters"]
+        assert set(comparisons) == set(counters) == set(settings)
+        # Non-reactive settings never shift; the reactive ones do, and the
+        # passive-driven setting reacts to request observations too.
+        assert counters["passive"]["PB"]["shifts"] == 0
+        assert counters["remeasured"]["PB"]["shifts"] == 0
+        assert counters["reactive-probe"]["PB"]["shifts"] > 0
+        assert counters["reactive-passive"]["PB"]["shifts"] > 0
+        for comparison in comparisons.values():
+            assert comparison.policies() == ["PB"]
 
 
 class TestTable1Experiment:

@@ -72,9 +72,19 @@ def test_clients_worked_example_runs_as_is(check_docs):
     assert "reactive:" in output
 
 
+def test_events_example_runs_as_is(check_docs):
+    snippet = check_docs.extract_python_block(REPO_ROOT / "docs" / "events.md")
+    assert snippet is not None, "docs/events.md lost its ```python example"
+    code, output = check_docs.run_snippet(snippet)
+    assert code == 0, f"docs/events.md example failed:\n{output}"
+    # The reactive half of the example reports its shift/re-key counters.
+    assert "shifts re-keyed" in output
+
+
 def test_executable_snippet_registry_covers_clients_page(check_docs):
     assert "docs/clients.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "README.md" in check_docs.EXECUTABLE_SNIPPETS
+    assert "docs/events.md" in check_docs.EXECUTABLE_SNIPPETS
 
 
 def test_link_checker_flags_broken_links(check_docs, tmp_path):

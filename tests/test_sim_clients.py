@@ -342,17 +342,15 @@ class TestReactiveRekeying:
         estimator = PassiveEstimator(smoothing=1.0)
         rekeyer = ReactiveRekeyer(policy, estimator, threshold=0.5)
 
-        estimator.observe(0, 100.0)
-        rekeyer.notify(1.0, 0)  # first sample only seeds the anchor
-        assert rekeyer.shifts == 0
+        prior = estimator.estimate(0)  # the initial estimate, 100
         estimator.observe(0, 120.0)
-        rekeyer.notify(2.0, 0)  # 20% < 50% threshold: no shift
+        rekeyer.notify(1.0, 0, prior)  # anchor seeds at 100; 20% < 50%: no shift
         assert rekeyer.shifts == 0
         estimator.observe(0, 300.0)
-        rekeyer.notify(3.0, 0)  # 200% > 50%: re-key, move the anchor
+        rekeyer.notify(2.0, 0, 120.0)  # 200% > 50%: re-key, move the anchor
         assert rekeyer.shifts == 1 and rekeyer.entries_rekeyed == 1
         estimator.observe(0, 310.0)
-        rekeyer.notify(4.0, 0)  # small move relative to the *new* anchor
+        rekeyer.notify(3.0, 0, 300.0)  # small move relative to the *new* anchor
         assert rekeyer.shifts == 1
         with pytest.raises(ConfigurationError):
             ReactiveRekeyer(policy, estimator, threshold=0.0)
@@ -428,13 +426,15 @@ def test_rekeyer_caps_shift_detection_at_last_mile_ceiling(small_catalog):
     estimator = PassiveEstimator(smoothing=1.0)
     rekeyer = ReactiveRekeyer(policy, estimator, threshold=0.2, bandwidth_cap=50.0)
 
+    prior = estimator.estimate(0)  # initial 100, capped to 50 when seeding
     estimator.observe(0, 100.0)
-    rekeyer.notify(1.0, 0)  # anchor seeds at the *capped* value, 50
+    rekeyer.notify(1.0, 0, prior)  # anchor seeds at the *capped* value, 50
+    assert rekeyer.shifts == 0
     estimator.observe(0, 300.0)
-    rekeyer.notify(2.0, 0)  # still capped to 50: no client would notice
+    rekeyer.notify(2.0, 0, 100.0)  # still capped to 50: no client would notice
     assert rekeyer.shifts == 0
     estimator.observe(0, 30.0)
-    rekeyer.notify(3.0, 0)  # below the cap: a real believed-bandwidth shift
+    rekeyer.notify(3.0, 0, 300.0)  # below the cap: a real believed-bandwidth shift
     assert rekeyer.shifts == 1
     with pytest.raises(ConfigurationError):
         ReactiveRekeyer(policy, estimator, threshold=0.2, bandwidth_cap=0.0)
