@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check
+.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check faults-smoke
 
 ## Tier-1 verification: the full test + benchmark suite.
 test:
@@ -32,3 +32,12 @@ ingest-demo:
 ## README quickstart and docs/clients.md worked-example snippets.
 docs-check:
 	$(PYTHON) scripts/check_docs.py
+
+## Fault-injection smoke: the fault test suite (replay-path bit-identity,
+## retry/backoff semantics, reactive behaviour under fault storms) plus a
+## CLI replay with a stochastic outage/flap schedule end-to-end.
+faults-smoke:
+	$(PYTHON) -m pytest -q tests/test_sim_faults.py
+	$(PYTHON) -m repro run --policy PB --scale 0.05 --knowledge passive \
+		--reactive-threshold 0.15 --reactive-passive --reactive-hysteresis 0.05 \
+		--fault-origin-outages 2 --fault-bandwidth-flaps 4 --fault-seed 1

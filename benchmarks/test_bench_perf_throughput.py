@@ -13,9 +13,11 @@ passive-driven reactive re-keying overhead ratio (``reactive``, see
 ``docs/events.md``), and the policy heap's peak size are written to
 ``BENCH_perf.json`` at the repository root.  A ``client_clouds`` section records the cost of
 per-client last-mile bandwidth composition (``docs/clients.md``) against
-the same replay with the hop unmodeled, and a ``dispatch`` section the
-parallel-dispatch overhead of shipping the workload to worker processes
-via shared memory versus pickling.  That file is the
+the same replay with the hop unmodeled, a ``faults`` section the cost of
+an active fault schedule (``docs/faults.md``) against the same replay
+with faults disabled, and a ``dispatch`` section the parallel-dispatch
+overhead of shipping the workload to worker processes via shared memory
+versus pickling.  That file is the
 repo's performance trajectory: the ``smoke`` section it records is the
 baseline the quick regression gate (:func:`test_throughput_smoke_regression`,
 ``make bench-smoke``) compares against.
@@ -40,6 +42,7 @@ from repro.network.distributions import NLANRBandwidthDistribution
 from repro.network.variability import NLANRRatioVariability
 from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.events import RemeasurementConfig
+from repro.sim.faults import FaultConfig
 from repro.sim.simulator import ProxyCacheSimulator
 
 #: Where the throughput record lives (repository root, next to ROADMAP.md).
@@ -69,6 +72,14 @@ DISPATCH_WORKERS = 2
 #: Client population / last-mile groups of the per-client-draw section.
 CLIENT_COUNT = 256
 CLIENT_GROUPS = 64
+
+#: Stochastic bandwidth flaps of the fault-overhead section.  Severity 0.5
+#: stays above the timeout threshold (1 / timeout_factor = 0.25), so the
+#: flaps degrade transfers without triggering retries — the ratio then
+#: isolates the per-request interception cost plus the degraded-path
+#: accounting, not the (workload-dependent) retry arithmetic.
+FAULT_FLAPS = 8
+FAULT_SEVERITY = 0.5
 
 
 def _build_simulator(scale: float, columnar: bool = False):
@@ -325,6 +336,46 @@ def test_throughput_full_200k():
         f"{requests / cloud_best['uniform']:,.0f} without)"
     )
 
+    # Fault-injection overhead: the same columnar replay with an active
+    # flap schedule vs faults disabled.  With faults=None the loops skip
+    # the injector entirely (one `is not None` test per request); with a
+    # schedule every request pays the interception check, and requests
+    # inside a flap window pay the degraded-path accounting too.
+    faulted_config = SimulationConfig(
+        cache_size_gb=BENCH_CACHE_GB,
+        variability=NLANRRatioVariability(),
+        faults=FaultConfig(
+            random_bandwidth_flaps=FAULT_FLAPS,
+            severity=FAULT_SEVERITY,
+            mean_duration_s=max(col_workload.trace.duration / 20.0, 1.0),
+            seed=BENCH_SEED,
+        ),
+        seed=BENCH_SEED,
+    )
+    faulted_simulator = ProxyCacheSimulator(col_workload, faulted_config)
+    fault_result, _, _ = _timed_run(
+        faulted_simulator, col_topology, use_fast_path=True
+    )
+    assert fault_result.fault_report is not None
+    assert fault_result.fault_report.degraded_requests > 0
+    assert fault_result.fault_report.failed_fetches == 0  # mild flaps only
+    fault_best, fault_ratio = _paired_measurement(
+        [
+            ("healthy", col_simulator, col_topology),
+            ("faulted", faulted_simulator, col_topology),
+        ],
+        rounds=3,
+    )
+    fault_overhead = fault_ratio("faulted", "healthy")
+    faulted_rps = requests / fault_best["faulted"]
+    # The interception is one boundary compare per request when no episode
+    # is active; anything past 2x means it regressed to real work.
+    assert fault_overhead <= 2.0, (
+        f"fault-schedule replay costs {fault_overhead:.2f}x the healthy "
+        f"baseline ({faulted_rps:,.0f} vs "
+        f"{requests / fault_best['healthy']:,.0f} req/s)"
+    )
+
     # Parallel-dispatch overhead: fan the same replication grid out over a
     # small pool with the trace shipped via shared memory vs pickled into
     # the initializer.  Results must be identical; only the transport cost
@@ -404,6 +455,15 @@ def test_throughput_full_200k():
                         requests / cloud_best["uniform"], 1
                     ),
                     "overhead_ratio_vs_uniform": round(client_overhead, 3),
+                },
+                "faults": {
+                    "flap_episodes": fault_result.fault_report.episodes,
+                    "degraded_requests": fault_result.fault_report.degraded_requests,
+                    "requests_per_sec": round(faulted_rps, 1),
+                    "healthy_baseline_requests_per_sec": round(
+                        requests / fault_best["healthy"], 1
+                    ),
+                    "overhead_ratio_vs_baseline": round(fault_overhead, 3),
                 },
                 "heap": {
                     "peak_size": heap_stats["peak_size"],

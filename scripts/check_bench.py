@@ -54,6 +54,11 @@ RATIO_KEYS: Dict[str, tuple] = {
     "remeasurement.overhead_ratio_vs_passive": ("lower", None),
     "client_clouds.overhead_ratio_vs_uniform": ("lower", None),
     "reactive.overhead_ratio_vs_passive": ("lower", None),
+    # The fault-injection overhead is a few percent at most, so run-to-run
+    # timer noise dominates the ratio itself (baselines below 1.0 occur);
+    # the wider tolerance keeps a noise-low committed baseline from turning
+    # the gate into a coin flip.
+    "faults.overhead_ratio_vs_baseline": ("lower", 0.40),
     "dispatch.shm_vs_pickle_ratio": ("lower", 0.40),
 }
 

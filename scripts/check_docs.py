@@ -10,9 +10,10 @@ library form, by ``tests/test_docs.py``):
   ``mailto`` targets are skipped — CI must not flake on the network).
 * **Snippet check** — the first ``python`` code block of every page listed
   in :data:`EXECUTABLE_SNIPPETS` (the README quickstart, the
-  ``docs/clients.md`` worked example, and the ``docs/events.md``
-  re-measurement + reactive example) must run as-is (with ``src/`` on
-  ``PYTHONPATH``), so the code a reader copies cannot be stale.
+  ``docs/clients.md`` worked example, the ``docs/events.md``
+  re-measurement + reactive example, and the ``docs/faults.md`` fault
+  injection example) must run as-is (with ``src/`` on ``PYTHONPATH``), so
+  the code a reader copies cannot be stale.
 
 Exit status is non-zero when any check fails; failures are listed one per
 line as ``file:line: message``.
@@ -38,7 +39,12 @@ _LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
 #: Pages whose first ```python block must execute cleanly, repo-relative.
-EXECUTABLE_SNIPPETS = ("README.md", "docs/clients.md", "docs/events.md")
+EXECUTABLE_SNIPPETS = (
+    "README.md",
+    "docs/clients.md",
+    "docs/events.md",
+    "docs/faults.md",
+)
 
 
 def iter_markdown_files(root: Path = REPO_ROOT) -> List[Path]:

@@ -63,6 +63,8 @@ from repro.network import (
 from repro.sim import (
     BandwidthKnowledge,
     ClientCloudConfig,
+    FaultConfig,
+    FaultEpisode,
     ProxyCacheSimulator,
     RemeasurementConfig,
     SimulationConfig,
@@ -96,6 +98,8 @@ __all__ = [
     "ConfigurationError",
     "ConstantVariability",
     "DeliveryTopology",
+    "FaultConfig",
+    "FaultEpisode",
     "FrequencyTracker",
     "GismoWorkloadGenerator",
     "HybridPartialBandwidthPolicy",

@@ -38,6 +38,7 @@ from repro.network.variability import (
 )
 from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.events import RemeasurementConfig
+from repro.sim.faults import FaultConfig, FaultEpisode
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.runner import (
     PolicyComparison,
@@ -777,6 +778,191 @@ def experiment_client_heterogeneity(
             "delays rise and quality falls for every policy, and the spread between",
             "bandwidth-aware and frequency-only policies narrows as the bottleneck",
             "moves to the client side, where no cache placement can hide it.",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Extension — fault injection and graceful degradation
+# ----------------------------------------------------------------------
+def experiment_fault_tolerance(
+    policies: Sequence[str] = ("PB",),
+    cache_fraction: float = 0.05,
+    scale: float = DEFAULT_SCALE,
+    num_runs: int = 2,
+    seed: int = 0,
+    n_jobs: int = 1,
+    outage_servers: int = 2,
+    outage_start_fraction: float = 0.35,
+    outage_duration_fraction: float = 0.15,
+    flap_count: int = 8,
+    severity: float = 0.1,
+    threshold: float = 0.15,
+    hysteresis: float = 0.05,
+) -> ExperimentResult:
+    """Fault ablation: what outages and flaps cost, and what reacting buys.
+
+    Replays the same workload and topology under three fault settings
+    (:mod:`repro.sim.faults`):
+
+    * ``"no-faults"`` — the healthy baseline every other setting is
+      measured against;
+    * ``"outages"`` — a scripted origin outage covering
+      ``outage_duration_fraction`` of the trace span, starting at
+      ``outage_start_fraction``, on the ``outage_servers`` busiest origin
+      servers simultaneously (the worst credible correlated failure);
+    * ``"flaps"`` — ``flap_count`` stochastic bandwidth flaps (each
+      collapsing one path to ``severity`` of its base) scattered over the
+      run from the fault stream's own seed.
+
+    crossed with two reaction settings per policy: ``"static"`` (passive
+    estimation only — heap keys stay wherever the last request left them)
+    and ``"reactive-passive"`` (passive-driven re-keying at ``threshold``
+    with a ``hysteresis`` re-arm band, ``docs/events.md``), so the delta
+    attributable to reacting is read directly off the grid.
+
+    Besides the averaged headline metrics the result reports the fault
+    counters (availability, failed / stale-served / retried requests,
+    mean time-to-recovery of the collapsed estimates) and, for the outage
+    setting, a **post-outage byte-hit ratio**: the same run re-measured
+    with the warm-up window extended past the outage's end (via
+    ``warmup_fraction``), isolating how quickly each reaction setting
+    restores cache effectiveness once the origin returns.  The grid is
+    small and collects per-run fault reports, so it executes serially;
+    ``n_jobs`` is accepted for CLI uniformity but does not fan out.
+    """
+    workload = build_workload(scale=scale, seed=seed)
+    trace = workload.trace
+    span = trace.end_time - trace.start_time
+    outage_start = trace.start_time + outage_start_fraction * span
+    outage_end = outage_start + outage_duration_fraction * span
+    counts: Dict[int, int] = {}
+    for object_id, request_count in trace.request_counts().items():
+        server_id = workload.catalog.get(int(object_id)).server_id
+        counts[server_id] = counts.get(server_id, 0) + int(request_count)
+    busiest = sorted(counts, key=lambda s: counts[s], reverse=True)[:outage_servers]
+    episodes = tuple(
+        FaultEpisode("origin-outage", outage_start, outage_end, server_id=server_id)
+        for server_id in sorted(busiest)
+    )
+    fault_settings: Dict[str, Optional[FaultConfig]] = {
+        "no-faults": None,
+        "outages": FaultConfig(episodes=episodes),
+        "flaps": FaultConfig(
+            random_bandwidth_flaps=flap_count,
+            severity=severity,
+            mean_duration_s=max(outage_duration_fraction * span / 2.0, 1.0),
+            seed=seed,
+        ),
+    }
+    reaction_settings: Dict[str, Dict[str, object]] = {
+        "static": {},
+        "reactive-passive": {
+            "reactive_threshold": threshold,
+            "reactive_passive": True,
+            "reactive_hysteresis": hysteresis,
+        },
+    }
+    base = SimulationConfig(
+        cache_size_gb=cache_fraction * workload.catalog.total_size_gb,
+        variability=NLANRRatioVariability(),
+        bandwidth_knowledge=BandwidthKnowledge.PASSIVE,
+        seed=seed,
+    )
+    # Measurement window for the recovery metric: warm-up extended to the
+    # first request after the outage ends, so byte-hit is measured purely
+    # on the post-outage tail.
+    times = np.asarray([request.time for request in trace], dtype=np.float64)
+    post_outage_index = int(np.searchsorted(times, outage_end, side="right"))
+    recovery_warmup = min(post_outage_index / max(len(trace), 1), 0.95)
+    comparisons: Dict[str, Dict[str, PolicyComparison]] = {}
+    fault_counters: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    recovery_byte_hit: Dict[str, Dict[str, float]] = {}
+    for fault_label, faults in fault_settings.items():
+        comparisons[fault_label] = {}
+        fault_counters[fault_label] = {}
+        for reaction_label, overrides in reaction_settings.items():
+            config = replace(base, faults=faults, **overrides)
+            comparison = PolicyComparison()
+            counters_by_policy: Dict[str, Dict[str, float]] = {}
+            for policy_name in policies:
+                per_run = []
+                totals = {
+                    "degraded_requests": 0.0,
+                    "retried_requests": 0.0,
+                    "failed_fetches": 0.0,
+                    "stale_serves": 0.0,
+                    "failed_requests": 0.0,
+                    "recovered_outages": 0.0,
+                    "shifts": 0.0,
+                    "rekeys": 0.0,
+                }
+                mttr_values: List[float] = []
+                for run_index in range(num_runs):
+                    run_config = config.with_seed(config.seed + run_index)
+                    result = ProxyCacheSimulator(workload, run_config).run(
+                        make_policy(policy_name)
+                    )
+                    per_run.append(result.metrics)
+                    totals["shifts"] += result.reactive_shifts
+                    totals["rekeys"] += result.reactive_rekeys
+                    report = result.fault_report
+                    if report is not None:
+                        totals["degraded_requests"] += report.degraded_requests
+                        totals["retried_requests"] += report.retried_requests
+                        totals["failed_fetches"] += report.failed_fetches
+                        totals["stale_serves"] += report.stale_serves
+                        totals["failed_requests"] += report.failed_requests
+                        totals["recovered_outages"] += len(report.recoveries)
+                        if report.mean_time_to_recovery_s is not None:
+                            mttr_values.append(report.mean_time_to_recovery_s)
+                totals["mean_time_to_recovery_s"] = (
+                    float(np.mean(mttr_values)) if mttr_values else float("nan")
+                )
+                comparison.metrics_by_policy[policy_name] = (
+                    SimulationMetrics.average(per_run)
+                )
+                counters_by_policy[policy_name] = totals
+            comparisons[fault_label][reaction_label] = comparison
+            fault_counters[fault_label][reaction_label] = counters_by_policy
+            if fault_label == "outages":
+                recovery_config = replace(config, warmup_fraction=recovery_warmup)
+                byte_hits = []
+                for run_index in range(num_runs):
+                    run_config = recovery_config.with_seed(
+                        recovery_config.seed + run_index
+                    )
+                    result = ProxyCacheSimulator(workload, run_config).run(
+                        make_policy(policies[0])
+                    )
+                    byte_hits.append(result.metrics.byte_hit_ratio)
+                recovery_byte_hit.setdefault(reaction_label, {})[
+                    policies[0]
+                ] = float(np.mean(byte_hits))
+    return ExperimentResult(
+        experiment_id="faults",
+        title="Fault injection: origin outages and bandwidth flaps, static vs reactive",
+        data={
+            "fault_settings": list(fault_settings),
+            "reaction_settings": list(reaction_settings),
+            "cache_fraction": float(cache_fraction),
+            "outage_servers": [int(server_id) for server_id in sorted(busiest)],
+            "outage_window": (float(outage_start), float(outage_end)),
+            "flap_count": int(flap_count),
+            "severity": float(severity),
+            "comparisons": comparisons,
+            "fault_counters": fault_counters,
+            "post_outage_byte_hit": recovery_byte_hit,
+            "post_outage_warmup_fraction": float(recovery_warmup),
+        },
+        notes=[
+            "An origin outage shows up as availability < 1 and stale serves; the",
+            "passive estimator sees it as a bandwidth collapse, so reactive re-keying",
+            "demotes the dead server's objects immediately and re-promotes them as the",
+            "estimate recovers — the post-outage byte-hit ratio recovers faster than",
+            "under the static baseline, at the price of the re-key churn reported in",
+            "the counters.  Flaps degrade throughput without failing fetches unless",
+            "severity crosses the fetch-timeout threshold.",
         ],
     )
 

@@ -28,18 +28,27 @@ Design notes
   conditions without any cross-process coordination.
 * Policy factories must be picklable for ``n_jobs > 1``; use
   :class:`~repro.core.policies.registry.PolicySpec` instead of lambdas.
+* A worker crash (OOM kill, segfault) breaks the whole pool and fails every
+  in-flight future collectively; rather than losing the sweep, the crashed
+  jobs are retried **once** on a fresh pool after a jittered backoff, and
+  only jobs that crash twice abort the sweep — with their indices named in
+  the error.  Job-raised exceptions still propagate immediately: those are
+  deterministic, and a retry would only repeat them.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.simulator import ProxyCacheSimulator
@@ -135,6 +144,46 @@ def _execute_job(job: SimulationJob) -> SimulationMetrics:
     return result.metrics
 
 
+#: Base pause (seconds) before respawning a pool after a worker crash; the
+#: actual wait is jittered to ``[1x, 2x)`` of this.
+_RETRY_BACKOFF_S = 0.5
+
+
+def _run_pool(
+    jobs: Sequence[SimulationJob],
+    workers: int,
+    initializer: Callable,
+    initargs: tuple,
+) -> Tuple[Dict[int, SimulationMetrics], List[int]]:
+    """Run jobs on one process pool, absorbing worker-crash failures.
+
+    Returns ``(results_by_index, crashed_indices)``.  A crashed worker
+    breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`
+    (every in-flight future fails with :class:`BrokenProcessPool`), so the
+    crashed indices are collected for the caller to retry instead of
+    aborting the sweep.  Ordinary exceptions raised *by a job* (a
+    misconfigured simulation, say) propagate unchanged — those are
+    deterministic and retrying cannot fix them.
+    """
+    results: Dict[int, SimulationMetrics] = {}
+    crashed: List[int] = []
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as executor:
+        try:
+            futures = [executor.submit(_execute_job, job) for job in jobs]
+        except BrokenProcessPool:
+            # The pool died during submission (initializer crash): nothing
+            # ran, everything is retryable.
+            return results, list(range(len(jobs)))
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                crashed.append(index)
+    return results, crashed
+
+
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     """Normalise an ``n_jobs`` argument to a concrete worker count.
 
@@ -223,13 +272,37 @@ def run_simulation_jobs(
     else:
         initializer, initargs = _init_worker, (workload,)
     try:
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        ) as executor:
-            return list(executor.map(_execute_job, jobs))
+        results, broken = _run_pool(jobs, workers, initializer, initargs)
+        if broken:
+            # A worker process died (OOM kill, segfault, machine hiccup)
+            # and took the whole pool with it — every job still in flight
+            # failed collectively, not individually.  One deliberate retry
+            # on a fresh pool salvages the sweep from a transient crash;
+            # the jittered pause keeps respawned workers from slamming
+            # into the same memory spike in lockstep.
+            time.sleep(_RETRY_BACKOFF_S * (1.0 + random.random()))
+            retried, still_broken = _run_pool(
+                [jobs[index] for index in broken],
+                min(workers, len(broken)),
+                initializer,
+                initargs,
+            )
+            for position, index in enumerate(broken):
+                if position in retried:
+                    results[index] = retried[position]
+            if still_broken:
+                failed = sorted(broken[position] for position in still_broken)
+                raise SimulationError(
+                    f"{len(failed)} of {len(jobs)} simulation jobs lost to "
+                    f"worker crashes even after a retry on a fresh pool "
+                    f"(job indices {failed[:10]}"
+                    + ("..." if len(failed) > 10 else "")
+                    + "); the workload may not fit the configured worker count"
+                )
+        return [results[index] for index in range(len(jobs))]
     finally:
         # Guaranteed reclamation of the shared segment, including when a
-        # worker died mid-job and the map above raised.
+        # worker died mid-job and both pool attempts above raised.
         if shared is not None:
             shared.unlink()
 

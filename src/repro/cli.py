@@ -24,7 +24,11 @@ per server (see ``docs/events.md``).  ``--client-clouds GROUPS`` (on ``run`` and
 ``ingest --compare``) models per-client last-mile bandwidth — one
 cache-to-client path per client group, homogeneous with
 ``--client-bandwidth`` or NLANR-heterogeneous by default (see
-``docs/clients.md``).
+``docs/clients.md``).  The ``run --fault-*`` family injects origin
+outages and bandwidth flaps with retry/timeout/serve-stale degradation
+(``docs/faults.md``); ``repro-sim experiment faults`` runs the matching
+ablation.  ``ingest --max-errors N`` tolerates up to ``N`` malformed log
+lines instead of giving up on the first one.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ from repro.network.variability import (
 )
 from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.events import RemeasurementConfig
+from repro.sim.faults import FaultConfig
 from repro.sim.simulator import ProxyCacheSimulator
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 
@@ -61,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable[..., exp.ExperimentResult]] = {
     "fig10": exp.experiment_fig10_value_constant,
     "fig11": exp.experiment_fig11_value_variable,
     "fig12": exp.experiment_fig12_value_estimator,
+    "faults": exp.experiment_fault_tolerance,
     "hetero": exp.experiment_client_heterogeneity,
     "reactive": exp.experiment_reactive_rekeying,
     "tab1": exp.experiment_table1_workload,
@@ -123,6 +129,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="homogeneous last-mile base bandwidth for --client-clouds; "
                           "default draws one base per group from the NLANR "
                           "distribution (heterogeneous clouds)")
+    run.add_argument("--fault-origin-outages", type=int, default=0, metavar="N",
+                     help="inject this many random origin-server outages "
+                          "(bandwidth to one server drops to zero for the "
+                          "episode; see docs/faults.md)")
+    run.add_argument("--fault-bandwidth-flaps", type=int, default=0, metavar="N",
+                     help="inject this many random origin bandwidth flaps "
+                          "(one path collapses to --fault-severity of its base)")
+    run.add_argument("--fault-link-flaps", type=int, default=0, metavar="N",
+                     help="inject this many random last-mile link flaps "
+                          "(requires --client-clouds)")
+    run.add_argument("--fault-mean-duration", type=float, default=600.0,
+                     metavar="SECONDS",
+                     help="mean episode duration for the random faults "
+                          "(exponentially distributed)")
+    run.add_argument("--fault-severity", type=float, default=0.1, metavar="FRACTION",
+                     help="bandwidth multiplier a flapping path collapses to")
+    run.add_argument("--fault-timeout-factor", type=float, default=4.0, metavar="X",
+                     help="a fetch times out when the degraded transfer would "
+                          "take more than X times its expected time")
+    run.add_argument("--fault-max-retries", type=int, default=2, metavar="N",
+                     help="retries per timed-out fetch (exponential backoff)")
+    run.add_argument("--fault-backoff", type=float, default=1.0, metavar="SECONDS",
+                     help="base backoff delay before the first retry")
+    run.add_argument("--fault-no-serve-stale", action="store_true",
+                     help="fail requests to unreachable origins outright "
+                          "instead of serving the cached prefix stale")
+    run.add_argument("--fault-seed", type=int, default=0,
+                     help="seed of the dedicated fault random stream")
     run.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser(
@@ -150,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="highest HTTP status code to keep")
     ingest.add_argument("--bitrate", type=float, default=None,
                         help="CBR bitrate (KB/s) used to derive object durations")
+    ingest.add_argument("--max-errors", type=int, default=None, metavar="N",
+                        help="abort once more than N lines fail to parse "
+                             "(default: tolerate any number; malformed lines "
+                             "are always counted and the first few quoted in "
+                             "the summary)")
     ingest.add_argument("--out", default=None,
                         help="write the ingested trace to this .npz file")
     ingest.add_argument("--append", action="store_true",
@@ -194,6 +233,29 @@ def _client_cloud_config(args: argparse.Namespace) -> Optional[ClientCloudConfig
     )
 
 
+def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
+    """Build a :class:`FaultConfig` from the ``run --fault-*`` flags."""
+    if not (args.fault_origin_outages or args.fault_bandwidth_flaps
+            or args.fault_link_flaps):
+        return None
+    if args.fault_link_flaps and args.client_clouds is None:
+        print("--fault-link-flaps requires --client-clouds (there is no "
+              "modeled last mile to fail)", file=sys.stderr)
+        raise SystemExit(2)
+    return FaultConfig(
+        random_origin_outages=args.fault_origin_outages,
+        random_bandwidth_flaps=args.fault_bandwidth_flaps,
+        random_link_flaps=args.fault_link_flaps,
+        mean_duration_s=args.fault_mean_duration,
+        severity=args.fault_severity,
+        seed=args.fault_seed,
+        timeout_factor=args.fault_timeout_factor,
+        max_retries=args.fault_max_retries,
+        backoff_base_s=args.fault_backoff,
+        serve_stale=not args.fault_no_serve_stale,
+    )
+
+
 def _run_single(args: argparse.Namespace) -> int:
     workload_config = WorkloadConfig(seed=args.seed)
     if args.scale != 1.0:
@@ -220,6 +282,7 @@ def _run_single(args: argparse.Namespace) -> int:
         reactive_passive=args.reactive_passive,
         reactive_hysteresis=args.reactive_hysteresis,
         reactive_rekey_cap=args.reactive_rekey_cap,
+        faults=_fault_config(args),
         seed=args.seed,
     )
     policy = make_policy(args.policy, estimator_e=args.estimator_e)
@@ -248,6 +311,17 @@ def _run_single(args: argparse.Namespace) -> int:
         if args.reactive_rekey_cap is not None:
             print(f"reactive re-key cap: {args.reactive_rekey_cap} per server "
                   f"({result.reactive_suppressed} shifts suppressed)")
+    if result.fault_report is not None:
+        report = result.fault_report
+        print(f"fault episodes: {report.episodes} "
+              f"({report.origin_episodes} origin, {report.link_episodes} last-mile)")
+        print(f"fault outcomes: {report.degraded_requests} degraded, "
+              f"{report.retried_requests} retried ({report.total_retries} retries), "
+              f"{report.failed_fetches} fetches failed -> "
+              f"{report.stale_serves} served stale + {report.failed_requests} failed")
+        if report.mean_time_to_recovery_s is not None:
+            print(f"estimate recovery: {len(report.recoveries)} outage(s) recovered, "
+                  f"mean time to recovery {report.mean_time_to_recovery_s:.6g} s")
     for key, value in result.metrics.as_dict().items():
         print(f"{key}: {value:.6g}")
     return 0
@@ -271,6 +345,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
 
 def _run_ingest(args: argparse.Namespace) -> int:
+    from repro.exceptions import TraceFormatError
     from repro.trace.ingest import ingest_access_log
     from repro.units import DEFAULT_BITRATE_KBPS
 
@@ -290,13 +365,22 @@ def _run_ingest(args: argparse.Namespace) -> int:
     if args.methods and args.methods.strip() != "*":
         methods = tuple(m.strip().upper() for m in args.methods.split(",") if m.strip())
     bitrate = args.bitrate if args.bitrate is not None else DEFAULT_BITRATE_KBPS
-    result = ingest_access_log(
-        args.logfile,
-        log_format=args.format,
-        methods=methods,
-        status_range=(100, args.max_status),
-    )
+    try:
+        result = ingest_access_log(
+            args.logfile,
+            log_format=args.format,
+            methods=methods,
+            status_range=(100, args.max_status),
+            max_errors=args.max_errors,
+        )
+    except TraceFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     for key, value in result.summary.as_dict().items():
+        if key == "malformed_samples":
+            for sample in value:
+                print(f"malformed sample: {sample}")
+            continue
         if isinstance(value, float):
             print(f"{key}: {value:.6g}")
         else:

@@ -27,6 +27,14 @@ from repro.exceptions import ConfigurationError, UnknownObjectError
 from repro.network.distributions import BandwidthDistribution
 from repro.network.variability import BandwidthVariabilityModel, ConstantVariability
 
+#: Hard floor (KB/s) on any observed/base bandwidth.  It keeps the delay
+#: formulas away from division by zero on extreme draws, and it doubles as
+#: the throughput sample a completely stalled transfer reports: the fault
+#: injector (:mod:`repro.sim.faults`) feeds this floor to the passive
+#: estimator while an origin is unreachable, so outages appear to the
+#: learning machinery as bandwidth collapse rather than missing data.
+BANDWIDTH_FLOOR = 1.0
+
 
 class NetworkPath:
     """The path between the proxy cache and one origin server."""
@@ -62,7 +70,7 @@ class NetworkPath:
         slow is effectively unusable either way.
         """
         ratio = float(self.variability.sample_ratio(rng, size=1)[0])
-        return max(self.base_bandwidth * ratio, 1.0)
+        return max(self.base_bandwidth * ratio, BANDWIDTH_FLOOR)
 
     def sample_observed(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Draw ``size`` observed-bandwidth samples in one vectorised batch.
@@ -81,7 +89,7 @@ class NetworkPath:
         ratios = np.asarray(
             self.variability.sample_ratio(rng, size=size), dtype=np.float64
         )
-        return np.maximum(self.base_bandwidth * ratios, 1.0)
+        return np.maximum(self.base_bandwidth * ratios, BANDWIDTH_FLOOR)
 
     def estimated_bandwidth(self, estimator_e: float = 1.0) -> float:
         """Bandwidth the cache *believes* the path has (KB/s).
@@ -160,7 +168,7 @@ class PathRegistry:
         paths = [
             NetworkPath(
                 server_id=server_id,
-                base_bandwidth=max(float(bandwidth), 1.0),
+                base_bandwidth=max(float(bandwidth), BANDWIDTH_FLOOR),
                 variability=variability,
             )
             for server_id, bandwidth in zip(ids, bandwidths)

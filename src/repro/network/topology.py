@@ -233,6 +233,19 @@ class DeliveryTopology:
         """Per-group last-mile base bandwidths (``None`` when unmodeled)."""
         return self.clients.group_caps()
 
+    def fault_domains(self) -> Tuple[List[int], int]:
+        """The two target spaces fault episodes can hit in this topology.
+
+        Returns ``(server_ids, group_count)``: the origin servers with a
+        registered path (targets of origin outages and bandwidth flaps)
+        and the number of modeled last-mile client groups (targets of
+        link-down / link-flap episodes; 0 under the paper's unmodeled
+        abundant last mile).  :meth:`repro.sim.faults.FaultConfig.
+        build_schedule` validates scripted episodes and draws stochastic
+        targets against exactly these domains.
+        """
+        return self.paths.server_ids(), self.clients.group_count
+
     def servers(self) -> List[OriginServer]:
         """Group catalog objects by hosting server."""
         by_server: Dict[int, List[int]] = {}

@@ -4,6 +4,8 @@
 * :mod:`repro.sim.events` — typed periodic auxiliary events (periodic
   bandwidth re-measurement) merged into the request stream,
 * :mod:`repro.sim.config` — simulation configuration,
+* :mod:`repro.sim.faults` — fault injection (origin outages, link flaps)
+  and the fetch timeout / retry / serve-stale degradation model,
 * :mod:`repro.sim.metrics` — the paper's performance metrics (Section 3.3),
 * :mod:`repro.sim.simulator` — the proxy-cache simulator proper, with its
   three bit-identical replay paths (event calendar / fast / columnar
@@ -22,6 +24,14 @@ from repro.sim.events import (
     RemeasurementConfig,
     build_remeasurement_events,
 )
+from repro.sim.faults import (
+    FAULT_KINDS,
+    FaultConfig,
+    FaultEpisode,
+    FaultInjector,
+    FaultReport,
+    FaultSchedule,
+)
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.runner import PolicyComparison, SweepResult, compare_policies, run_replications, sweep_cache_sizes
 from repro.sim.sharing import SharingReport, StreamSharingAnalyzer, prefix_function_for_bandwidth
@@ -34,6 +44,12 @@ __all__ = [
     "ClientCloudConfig",
     "Event",
     "EventQueue",
+    "FAULT_KINDS",
+    "FaultConfig",
+    "FaultEpisode",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSchedule",
     "MetricsCollector",
     "PeriodicEvent",
     "PolicyComparison",

@@ -20,6 +20,7 @@ from repro.network.distributions import BandwidthDistribution, NLANRBandwidthDis
 from repro.network.topology import ClientCloud
 from repro.network.variability import BandwidthVariabilityModel, ConstantVariability
 from repro.sim.events import RemeasurementConfig
+from repro.sim.faults import FaultConfig
 from repro.units import gb_to_kb
 
 
@@ -176,6 +177,13 @@ class SimulationConfig:
         Optional hard per-server budget of reactive re-keys per run; shifts
         past the budget are counted on
         ``SimulationResult.reactive_suppressed`` instead of re-keying.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultConfig` injecting origin
+        outages, last-mile link failures, and bandwidth flaps into the
+        replay, together with the fetch timeout / retry / serve-stale
+        model.  ``None`` (default) replays a fault-free network and keeps
+        every replay path bit-identical to the pre-fault simulator; see
+        ``docs/faults.md``.
     seed:
         Seed for the simulation's random number generator (path bandwidth
         assignment and per-request variability draws).
@@ -199,6 +207,7 @@ class SimulationConfig:
     reactive_passive: bool = False
     reactive_hysteresis: Optional[float] = None
     reactive_rekey_cap: Optional[int] = None
+    faults: Optional[FaultConfig] = None
     seed: int = 0
     verify_store: bool = False
 
@@ -297,6 +306,13 @@ class SimulationConfig:
         mile (the default).
         """
         return replace(self, client_clouds=client_clouds)
+
+    def with_faults(self, faults: Optional[FaultConfig]) -> "SimulationConfig":
+        """Copy of this config with a different fault-injection model.
+
+        Pass ``None`` to replay a fault-free network (the default).
+        """
+        return replace(self, faults=faults)
 
     def cache_fraction_of(self, total_unique_kb: float) -> float:
         """Cache size as a fraction of the total unique object size."""

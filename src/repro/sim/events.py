@@ -408,6 +408,33 @@ class ReactiveRekeyer:
         cap = self.group_caps[group_id % len(self.group_caps)]
         return None if cap == float("inf") else cap
 
+    def anchor_for(
+        self, server_id: int, group_id: Optional[int] = None
+    ) -> Optional[float]:
+        """The believed value a view was last re-anchored at (test hook).
+
+        ``None`` while the view has never been touched.  Together with
+        :meth:`disarmed_views` this lets fault-storm tests
+        (``tests/test_sim_faults.py``) assert the hysteresis state machine
+        from outside: an outage collapses the anchor, recovery re-arms the
+        view, and the anchor follows.
+        """
+        views = self._anchors.get(server_id)
+        return None if views is None else views.get(group_id)
+
+    def disarmed_views(self, server_id: int) -> Tuple[Optional[int], ...]:
+        """Views of a server currently disarmed by hysteresis (test hook).
+
+        Returns the group ids (``None`` = the origin / probe-driven view)
+        whose estimates must re-enter the hysteresis band before they may
+        trigger again.  Empty when hysteresis is off or everything is
+        armed.
+        """
+        disarmed = self._disarmed.get(server_id)
+        if not disarmed:
+            return ()
+        return tuple(group for group, flag in disarmed.items() if flag)
+
     def observe_request(
         self,
         now: float,

@@ -26,7 +26,16 @@ from repro.streaming.session import DeliveryOutcome
 
 @dataclass(frozen=True)
 class SimulationMetrics:
-    """Aggregated metrics over the measurement phase of one simulation run."""
+    """Aggregated metrics over the measurement phase of one simulation run.
+
+    The fault-model fields (``availability`` and the failed / stale /
+    retried counters) stay at their no-fault defaults unless the run had
+    :attr:`~repro.sim.config.SimulationConfig.faults` enabled:
+    ``availability`` is the fraction of measured requests that were served
+    at all (stale serves count as served — degraded, not failed), and
+    ``stale_served_requests`` counts requests answered from the cached
+    prefix of an unreachable origin (:mod:`repro.sim.faults`).
+    """
 
     requests: int
     traffic_reduction_ratio: float
@@ -40,6 +49,11 @@ class SimulationMetrics:
     delayed_request_ratio: float
     bytes_from_cache_gb: float
     bytes_from_server_gb: float
+    availability: float = 1.0
+    failed_requests: int = 0
+    stale_served_requests: int = 0
+    retried_requests: int = 0
+    total_retries: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Return the metrics as a plain dictionary (for tables and JSON)."""
@@ -56,6 +70,11 @@ class SimulationMetrics:
             "delayed_request_ratio": self.delayed_request_ratio,
             "bytes_from_cache_gb": self.bytes_from_cache_gb,
             "bytes_from_server_gb": self.bytes_from_server_gb,
+            "availability": self.availability,
+            "failed_requests": float(self.failed_requests),
+            "stale_served_requests": float(self.stale_served_requests),
+            "retried_requests": float(self.retried_requests),
+            "total_retries": float(self.total_retries),
         }
 
     @staticmethod
@@ -81,6 +100,11 @@ class SimulationMetrics:
             delayed_request_ratio=mean("delayed_request_ratio"),
             bytes_from_cache_gb=mean("bytes_from_cache_gb"),
             bytes_from_server_gb=mean("bytes_from_server_gb"),
+            availability=mean("availability"),
+            failed_requests=int(mean("failed_requests")),
+            stale_served_requests=int(mean("stale_served_requests")),
+            retried_requests=int(mean("retried_requests")),
+            total_retries=int(mean("total_retries")),
         )
 
 
@@ -104,6 +128,10 @@ class MetricsCollector:
     _delayed: int = 0
     _delay_sum_delayed: float = 0.0
     _warmup_requests: int = 0
+    _failed: int = 0
+    _stale_served: int = 0
+    _retried: int = 0
+    _total_retries: int = 0
     _per_object_hits: Dict[int, int] = field(default_factory=dict)
 
     def record(self, outcome: DeliveryOutcome) -> None:
@@ -128,6 +156,86 @@ class MetricsCollector:
                 self._per_object_hits.get(outcome.object_id, 0) + 1
             )
 
+    def record_served_fault(
+        self,
+        object_id: int,
+        bytes_from_cache: float,
+        bytes_from_server: float,
+        delay: float,
+        quality: float,
+        value: float,
+        retries: int,
+    ) -> None:
+        """Record one request served through the fault machinery.
+
+        Same accumulation as :meth:`record` — the caller has already
+        folded any retry-backoff wait into ``delay`` (a request that
+        waited is by definition not immediate) — plus the retry counters.
+        Used by the event-calendar replay path; the tight loops inline the
+        identical arithmetic (:mod:`repro.sim.faults`).
+        """
+        if not self.measuring:
+            self._warmup_requests += 1
+            return
+        self._requests += 1
+        self._bytes_from_cache += bytes_from_cache
+        self._bytes_from_server += bytes_from_server
+        self._delay_sum += delay
+        self._quality_sum += quality
+        if delay <= 0.0:
+            self._value_sum += value
+            self._immediate += 1
+        else:
+            self._delayed += 1
+            self._delay_sum_delayed += delay
+        if bytes_from_cache > 0:
+            self._hits += 1
+            self._per_object_hits[object_id] = (
+                self._per_object_hits.get(object_id, 0) + 1
+            )
+        if retries:
+            self._retried += 1
+            self._total_retries += retries
+
+    def record_unserved(
+        self,
+        object_id: int,
+        cached: float,
+        delay: float,
+        quality: float,
+        retries: int,
+        stale: bool,
+    ) -> None:
+        """Record one request whose fetch failed after every retry.
+
+        ``stale`` means the cached prefix was served in place of the
+        unreachable origin (a stale serve: cache bytes and quality count,
+        the request is a hit, but it is never immediate and earns no
+        value); otherwise the request failed outright and contributes only
+        its backoff ``delay``.  Both count as delayed — a client that
+        waited through the retry budget did not get immediate service.
+        """
+        if not self.measuring:
+            self._warmup_requests += 1
+            return
+        self._requests += 1
+        if stale:
+            self._bytes_from_cache += cached
+            self._quality_sum += quality
+            self._hits += 1
+            self._per_object_hits[object_id] = (
+                self._per_object_hits.get(object_id, 0) + 1
+            )
+            self._stale_served += 1
+        else:
+            self._failed += 1
+        self._delay_sum += delay
+        self._delayed += 1
+        self._delay_sum_delayed += delay
+        if retries:
+            self._retried += 1
+            self._total_retries += retries
+
     @property
     def warmup_requests(self) -> int:
         """Number of requests processed during warm-up."""
@@ -147,6 +255,10 @@ class MetricsCollector:
         delayed: int = 0,
         delay_sum_delayed: float = 0.0,
         warmup_requests: int = 0,
+        failed: int = 0,
+        stale_served: int = 0,
+        retried: int = 0,
+        total_retries: int = 0,
         per_object_hits: Optional[Dict[int, int]] = None,
     ) -> None:
         """Merge pre-accumulated totals into the collector.
@@ -167,6 +279,10 @@ class MetricsCollector:
         self._delayed += delayed
         self._delay_sum_delayed += delay_sum_delayed
         self._warmup_requests += warmup_requests
+        self._failed += failed
+        self._stale_served += stale_served
+        self._retried += retried
+        self._total_retries += total_retries
         if per_object_hits:
             existing = self._per_object_hits
             for object_id, count in per_object_hits.items():
@@ -199,6 +315,13 @@ class MetricsCollector:
             delayed_request_ratio=(self._delayed / requests if requests > 0 else 0.0),
             bytes_from_cache_gb=self._bytes_from_cache / 1_000_000.0,
             bytes_from_server_gb=self._bytes_from_server / 1_000_000.0,
+            availability=(
+                1.0 - self._failed / requests if requests > 0 else 1.0
+            ),
+            failed_requests=self._failed,
+            stale_served_requests=self._stale_served,
+            retried_requests=self._retried,
+            total_retries=self._total_retries,
         )
 
     def top_hit_objects(self, count: int = 10) -> List[Optional[int]]:

@@ -27,7 +27,12 @@ config — including the columnar event path when the config schedules
 periodic bandwidth re-measurement (:mod:`repro.sim.events`); a
 :class:`~repro.sim.events.RemeasurementConfig` travels inside the pickled
 :class:`~repro.sim.config.SimulationConfig`, so parallel and serial
-execution stay byte-identical.
+execution stay byte-identical.  The same holds for fault injection: a
+:class:`~repro.sim.faults.FaultConfig` on
+:attr:`~repro.sim.config.SimulationConfig.faults` is a frozen, picklable
+dataclass whose stochastic episodes are derived from ``(faults.seed,
+config.seed)`` inside each worker, so a faulted sweep fans out exactly
+like a healthy one (``docs/faults.md``).
 """
 
 from __future__ import annotations

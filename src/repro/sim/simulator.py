@@ -62,6 +62,12 @@ from repro.sim.events import (
     ReactiveRekeyer,
     build_remeasurement_events,
 )
+from repro.sim.faults import (
+    FETCH_OK,
+    FaultInjector,
+    FaultReport,
+    stale_quality,
+)
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.streaming.session import DeliverySession
 from repro.trace.columnar import ColumnarTrace
@@ -95,7 +101,11 @@ class SimulationResult:
     re-key budget
     (:attr:`~repro.sim.config.SimulationConfig.reactive_rekey_cap`), and
     ``reactive_rekeys_by_server`` the per-server re-key counts that budget
-    bounds.
+    bounds.  ``fault_report`` carries the whole-run fault accounting
+    (episode counts, retries, stale serves, estimate recovery times) when
+    the run had :attr:`~repro.sim.config.SimulationConfig.faults`
+    enabled; the measurement-phase view (availability, failed / stale /
+    retried requests) lives on :attr:`metrics`.
     """
 
     metrics: SimulationMetrics
@@ -112,6 +122,7 @@ class SimulationResult:
     reactive_rekeys: int = 0
     reactive_suppressed: int = 0
     reactive_rekeys_by_server: Dict[int, int] = field(default_factory=dict)
+    fault_report: Optional[FaultReport] = None
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten result and headline metrics into one dictionary."""
@@ -387,6 +398,18 @@ class ProxyCacheSimulator:
         if warmup_cutoff == 0:
             collector.measuring = True
 
+        injector: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            fault_schedule = self.config.faults.build_schedule(
+                topology,
+                trace_start=trace.start_time,
+                trace_end=trace.end_time,
+                base_seed=self.config.seed,
+            )
+            injector = FaultInjector(
+                fault_schedule, self.config.faults, estimator=estimator
+            )
+
         engine = SimulationEngine()
         self.schedule_auxiliary_events(engine, topology, store, collector)
         have_hook_events = len(engine.queue) > 0
@@ -415,6 +438,7 @@ class ProxyCacheSimulator:
                 warmup_cutoff,
                 last_mile,
                 passive_rekeyer,
+                injector,
             )
         elif mode == "columnar-event":
             self._replay_events_columnar(
@@ -429,6 +453,7 @@ class ProxyCacheSimulator:
                 dense_bound,
                 last_mile,
                 passive_rekeyer,
+                injector,
             )
         else:
             schedule.schedule_into(engine)
@@ -443,6 +468,7 @@ class ProxyCacheSimulator:
                 warmup_cutoff,
                 last_mile,
                 passive_rekeyer,
+                injector,
             )
 
         return SimulationResult(
@@ -462,6 +488,7 @@ class ProxyCacheSimulator:
             reactive_rekeys_by_server=(
                 dict(rekeyer.rekeys_by_server) if rekeyer is not None else {}
             ),
+            fault_report=injector.report() if injector is not None else None,
         )
 
     @staticmethod
@@ -518,6 +545,7 @@ class ProxyCacheSimulator:
         warmup_cutoff: int,
         last_mile: Optional[tuple] = None,
         rekeyer: Optional[ReactiveRekeyer] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         """Dispatch every request through the discrete-event engine.
 
@@ -530,6 +558,15 @@ class ProxyCacheSimulator:
         cache cannot conflate with its own (known) client side.  ``rekeyer``
         (set when the run is passive-driven reactive) is notified after the
         estimator update, in the same position on every replay path.
+
+        ``injector`` (set when the config has
+        :attr:`~repro.sim.config.SimulationConfig.faults`) intercepts every
+        fetch *after* the bandwidth draws and belief lookup, at the same
+        sequence point as the tight loops: an untouched request runs the
+        exact pre-fault code below, a degraded/retried one folds its
+        backoff wait into the service delay, and a failed fetch serves the
+        cached prefix stale (or fails) without consulting the policy — an
+        unreachable origin has nothing to admit.
         """
         catalog = self.workload.catalog
         lm_base, lm_observed, lm_groups = (
@@ -544,10 +581,11 @@ class ProxyCacheSimulator:
             path = topology.path_for(obj)
             observed_bandwidth = path.observed_bandwidth(rng)
             origin_observed = observed_bandwidth
+            lm_draw = None
             if lm_observed is not None:
-                cap = lm_observed[index]
-                if cap < observed_bandwidth:
-                    observed_bandwidth = cap
+                lm_draw = lm_observed[index]
+                if lm_draw < observed_bandwidth:
+                    observed_bandwidth = lm_draw
             if estimator is not None:
                 believed_bandwidth = estimator.estimate(obj.server_id)
             else:
@@ -557,22 +595,86 @@ class ProxyCacheSimulator:
                 cap = lm_base[index]
                 if cap < believed_bandwidth:
                     believed_bandwidth = cap
+            group = lm_groups[index] if lm_groups is not None else None
 
-            cached_before = store.cached_bytes(obj.object_id)
-            outcome = DeliverySession(obj, cached_before, observed_bandwidth).outcome()
-            collector.record(outcome)
+            disposition = None
+            if injector is not None:
+                disposition = injector.intercept(
+                    engine.now, obj.server_id, group, origin_observed, lm_draw
+                )
 
-            policy.on_request(obj, believed_bandwidth, engine.now, store)
-            if estimator is not None:
-                estimator.observe(obj.server_id, origin_observed)
-                if rekeyer is not None:
-                    rekeyer.observe_request(
-                        engine.now,
-                        obj.server_id,
-                        lm_groups[index] if lm_groups is not None else None,
-                        prior_estimate,
-                        observed_bandwidth,
+            if disposition is None or disposition[0] == FETCH_OK:
+                if disposition is not None:
+                    observed_bandwidth = disposition[1]
+                    origin_observed = disposition[2]
+                cached_before = store.cached_bytes(obj.object_id)
+                outcome = DeliverySession(
+                    obj, cached_before, observed_bandwidth
+                ).outcome()
+                if disposition is None:
+                    collector.record(outcome)
+                else:
+                    delay = outcome.service_delay
+                    waited = disposition[3]
+                    if waited > 0.0:
+                        delay = delay + waited
+                    collector.record_served_fault(
+                        obj.object_id,
+                        outcome.bytes_from_cache,
+                        outcome.bytes_from_server,
+                        delay,
+                        outcome.stream_quality,
+                        outcome.value,
+                        disposition[4],
                     )
+                policy.on_request(obj, believed_bandwidth, engine.now, store)
+                if estimator is not None:
+                    estimator.observe(obj.server_id, origin_observed)
+                    if rekeyer is not None:
+                        rekeyer.observe_request(
+                            engine.now,
+                            obj.server_id,
+                            group,
+                            prior_estimate,
+                            observed_bandwidth,
+                        )
+            else:
+                # Fetch failed after the retry budget: serve the cached
+                # prefix stale, or fail the request outright.
+                cached = store.cached_bytes(obj.object_id)
+                size = obj.size
+                if cached > size:
+                    cached = size
+                stale = injector.serve_stale and cached > 0.0
+                injector.record_unserved(stale)
+                waited = disposition[3]
+                quality = (
+                    stale_quality(cached, obj.duration, obj.bitrate, 1.0 / obj.layers)
+                    if stale
+                    else 0.0
+                )
+                collector.record_unserved(
+                    obj.object_id,
+                    cached,
+                    waited,
+                    quality,
+                    disposition[4],
+                    stale,
+                )
+                # No policy.on_request: the origin is unreachable, so
+                # there is nothing to fetch or admit.  The estimator still
+                # observes the collapsed sample — that is how the reactive
+                # machinery sees the outage.
+                if estimator is not None:
+                    estimator.observe(obj.server_id, disposition[2])
+                    if rekeyer is not None:
+                        rekeyer.observe_request(
+                            engine.now,
+                            obj.server_id,
+                            group,
+                            prior_estimate,
+                            disposition[1],
+                        )
             if self.config.verify_store and not store.verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "
@@ -619,6 +721,7 @@ class ProxyCacheSimulator:
         warmup_cutoff: int,
         last_mile: Optional[tuple] = None,
         rekeyer: Optional[ReactiveRekeyer] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         """Iterate the trace in a tight loop, bypassing the event calendar.
 
@@ -651,6 +754,7 @@ class ProxyCacheSimulator:
                     max_id,
                     last_mile,
                     rekeyer,
+                    injector,
                 )
 
         ratio_array = self._predraw_ratios(topology, rng, len(trace))
@@ -676,6 +780,8 @@ class ProxyCacheSimulator:
             last_mile if last_mile is not None else (None, None, None)
         )
         rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
+        intercept = injector.intercept if injector is not None else None
+        serve_stale = injector.serve_stale if injector is not None else False
 
         measuring = collector.measuring
         m_requests = 0
@@ -688,6 +794,10 @@ class ProxyCacheSimulator:
         m_immediate = 0
         m_delayed = 0
         m_delay_delayed = 0.0
+        m_failed = 0
+        m_stale = 0
+        m_retried = 0
+        m_retries = 0
         warmup_count = 0
         hits_by_object: Dict[int, int] = {}
 
@@ -748,58 +858,116 @@ class ProxyCacheSimulator:
                 if cap < believed:
                     believed = cap
 
+            disposition = None
+            if intercept is not None:
+                disposition = intercept(
+                    req_time,
+                    server_id,
+                    lm_groups[index] if lm_groups is not None else None,
+                    origin_observed,
+                    lm_observed[index] if lm_observed is not None else None,
+                )
+
             cached = store_cached(object_id)
 
-            if measuring:
-                # DeliverySession.outcome(), inlined with identical
-                # floating-point operation order.
+            if disposition is None or disposition[0] == 0:  # FETCH_OK
+                if disposition is not None:
+                    observed = disposition[1]
+                    origin_observed = disposition[2]
+                if measuring:
+                    # DeliverySession.outcome(), inlined with identical
+                    # floating-point operation order.
+                    if cached > size:
+                        cached = size
+                    missing = size - duration * observed - cached
+                    if missing <= 0:
+                        delay = 0.0
+                    elif observed <= 0:
+                        delay = inf
+                    else:
+                        delay = missing / observed
+                    supported_rate = cached / duration + (
+                        observed if observed > 0.0 else 0.0
+                    )
+                    fraction = supported_rate / bitrate
+                    if fraction >= 1.0:
+                        quality = 1.0
+                    else:
+                        quality = int(fraction / quantum + 1e-9) * quantum
+                    if disposition is not None and disposition[3] > 0.0:
+                        # Retry backoff delays playout start.
+                        delay = delay + disposition[3]
+
+                    # MetricsCollector.record(), inlined in the same order.
+                    m_requests += 1
+                    m_bytes_cache += cached
+                    m_bytes_server += size - cached
+                    m_delay += delay
+                    m_quality += quality
+                    if delay <= 0.0:
+                        m_value += value
+                        m_immediate += 1
+                    else:
+                        m_delayed += 1
+                        m_delay_delayed += delay
+                    if cached > 0:
+                        m_hits += 1
+                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                    if disposition is not None and disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                else:
+                    warmup_count += 1
+
+                policy_on_request(obj, believed, req_time, store)
+                if estimator_observe is not None:
+                    estimator_observe(server_id, origin_observed)
+                    if rekeyer_request is not None:
+                        rekeyer_request(
+                            req_time,
+                            server_id,
+                            lm_groups[index] if lm_groups is not None else None,
+                            prior_estimate,
+                            observed,
+                        )
+            else:
+                # Fetch failed after the retry budget: serve the cached
+                # prefix stale, or fail the request outright.  No
+                # policy_on_request — the origin is unreachable, so there
+                # is nothing to fetch or admit.
                 if cached > size:
                     cached = size
-                missing = size - duration * observed - cached
-                if missing <= 0:
-                    delay = 0.0
-                elif observed <= 0:
-                    delay = inf
-                else:
-                    delay = missing / observed
-                supported_rate = cached / duration + (
-                    observed if observed > 0.0 else 0.0
-                )
-                fraction = supported_rate / bitrate
-                if fraction >= 1.0:
-                    quality = 1.0
-                else:
-                    quality = int(fraction / quantum + 1e-9) * quantum
-
-                # MetricsCollector.record(), inlined in the same order.
-                m_requests += 1
-                m_bytes_cache += cached
-                m_bytes_server += size - cached
-                m_delay += delay
-                m_quality += quality
-                if delay <= 0.0:
-                    m_value += value
-                    m_immediate += 1
-                else:
+                stale = serve_stale and cached > 0.0
+                injector.record_unserved(stale)
+                if measuring:
+                    waited = disposition[3]
+                    m_requests += 1
+                    if stale:
+                        m_bytes_cache += cached
+                        m_quality += stale_quality(cached, duration, bitrate, quantum)
+                        m_hits += 1
+                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                        m_stale += 1
+                    else:
+                        m_failed += 1
+                    m_delay += waited
                     m_delayed += 1
-                    m_delay_delayed += delay
-                if cached > 0:
-                    m_hits += 1
-                    hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
-            else:
-                warmup_count += 1
-
-            policy_on_request(obj, believed, req_time, store)
-            if estimator_observe is not None:
-                estimator_observe(server_id, origin_observed)
-                if rekeyer_request is not None:
-                    rekeyer_request(
-                        req_time,
-                        server_id,
-                        lm_groups[index] if lm_groups is not None else None,
-                        prior_estimate,
-                        observed,
-                    )
+                    m_delay_delayed += waited
+                    if disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                else:
+                    warmup_count += 1
+                if estimator_observe is not None:
+                    estimator_observe(server_id, disposition[2])
+                    if rekeyer_request is not None:
+                        rekeyer_request(
+                            req_time,
+                            server_id,
+                            lm_groups[index] if lm_groups is not None else None,
+                            prior_estimate,
+                            disposition[1],
+                        )
             if verify_store and not verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "
@@ -819,6 +987,10 @@ class ProxyCacheSimulator:
             delayed=m_delayed,
             delay_sum_delayed=m_delay_delayed,
             warmup_requests=warmup_count,
+            failed=m_failed,
+            stale_served=m_stale,
+            retried=m_retried,
+            total_retries=m_retries,
             per_object_hits=hits_by_object,
         )
 
@@ -837,6 +1009,7 @@ class ProxyCacheSimulator:
         max_id: int,
         last_mile: Optional[tuple] = None,
         rekeyer: Optional[ReactiveRekeyer] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
 
@@ -858,6 +1031,7 @@ class ProxyCacheSimulator:
             max_id,
             last_mile,
             rekeyer,
+            injector,
         )
 
     # ------------------------------------------------------------------
@@ -876,6 +1050,7 @@ class ProxyCacheSimulator:
         max_id: int,
         last_mile: Optional[tuple] = None,
         rekeyer: Optional[ReactiveRekeyer] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         """Event-capable replay over a dense-id columnar trace.
 
@@ -948,6 +1123,8 @@ class ProxyCacheSimulator:
             last_mile if last_mile is not None else (None, None, None)
         )
         rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
+        intercept = injector.intercept if injector is not None else None
+        serve_stale = injector.serve_stale if injector is not None else False
 
         aux_heap = schedule.begin()
         fire_before = schedule.fire_before
@@ -963,6 +1140,10 @@ class ProxyCacheSimulator:
         m_immediate = 0
         m_delayed = 0
         m_delay_delayed = 0.0
+        m_failed = 0
+        m_stale = 0
+        m_retried = 0
+        m_retries = 0
         warmup_count = 0
         hits_by_object: Dict[int, int] = {}
 
@@ -1000,58 +1181,117 @@ class ProxyCacheSimulator:
                 if cap < believed:
                     believed = cap
 
-            if measuring:
-                cached = store_cached(object_id)
+            disposition = None
+            if intercept is not None:
+                disposition = intercept(
+                    req_time,
+                    server_id,
+                    lm_groups[index] if lm_groups is not None else None,
+                    origin_observed,
+                    lm_observed[index] if lm_observed is not None else None,
+                )
 
-                # DeliverySession.outcome(), inlined with identical
-                # floating-point operation order.
+            if disposition is None or disposition[0] == 0:  # FETCH_OK
+                if disposition is not None:
+                    observed = disposition[1]
+                    origin_observed = disposition[2]
+                if measuring:
+                    cached = store_cached(object_id)
+
+                    # DeliverySession.outcome(), inlined with identical
+                    # floating-point operation order.
+                    if cached > size:
+                        cached = size
+                    missing = size - duration * observed - cached
+                    if missing <= 0:
+                        delay = 0.0
+                    elif observed <= 0:
+                        delay = inf
+                    else:
+                        delay = missing / observed
+                    supported_rate = cached / duration + (
+                        observed if observed > 0.0 else 0.0
+                    )
+                    fraction = supported_rate / bitrate
+                    if fraction >= 1.0:
+                        quality = 1.0
+                    else:
+                        quality = int(fraction / quantum + 1e-9) * quantum
+                    if disposition is not None and disposition[3] > 0.0:
+                        # Retry backoff delays playout start.
+                        delay = delay + disposition[3]
+
+                    # MetricsCollector.record(), inlined in the same order.
+                    m_requests += 1
+                    m_bytes_cache += cached
+                    m_bytes_server += size - cached
+                    m_delay += delay
+                    m_quality += quality
+                    if delay <= 0.0:
+                        m_value += value
+                        m_immediate += 1
+                    else:
+                        m_delayed += 1
+                        m_delay_delayed += delay
+                    if cached > 0:
+                        m_hits += 1
+                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                    if disposition is not None and disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                else:
+                    warmup_count += 1
+
+                policy_on_request(obj, believed, req_time, store)
+                if estimator_observe is not None:
+                    estimator_observe(server_id, origin_observed)
+                    if rekeyer_request is not None:
+                        rekeyer_request(
+                            req_time,
+                            server_id,
+                            lm_groups[index] if lm_groups is not None else None,
+                            prior_estimate,
+                            observed,
+                        )
+            else:
+                # Fetch failed after the retry budget: serve the cached
+                # prefix stale, or fail the request outright.  No
+                # policy_on_request — the origin is unreachable, so there
+                # is nothing to fetch or admit.
+                cached = store_cached(object_id)
                 if cached > size:
                     cached = size
-                missing = size - duration * observed - cached
-                if missing <= 0:
-                    delay = 0.0
-                elif observed <= 0:
-                    delay = inf
-                else:
-                    delay = missing / observed
-                supported_rate = cached / duration + (
-                    observed if observed > 0.0 else 0.0
-                )
-                fraction = supported_rate / bitrate
-                if fraction >= 1.0:
-                    quality = 1.0
-                else:
-                    quality = int(fraction / quantum + 1e-9) * quantum
-
-                # MetricsCollector.record(), inlined in the same order.
-                m_requests += 1
-                m_bytes_cache += cached
-                m_bytes_server += size - cached
-                m_delay += delay
-                m_quality += quality
-                if delay <= 0.0:
-                    m_value += value
-                    m_immediate += 1
-                else:
+                stale = serve_stale and cached > 0.0
+                injector.record_unserved(stale)
+                if measuring:
+                    waited = disposition[3]
+                    m_requests += 1
+                    if stale:
+                        m_bytes_cache += cached
+                        m_quality += stale_quality(cached, duration, bitrate, quantum)
+                        m_hits += 1
+                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                        m_stale += 1
+                    else:
+                        m_failed += 1
+                    m_delay += waited
                     m_delayed += 1
-                    m_delay_delayed += delay
-                if cached > 0:
-                    m_hits += 1
-                    hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
-            else:
-                warmup_count += 1
-
-            policy_on_request(obj, believed, req_time, store)
-            if estimator_observe is not None:
-                estimator_observe(server_id, origin_observed)
-                if rekeyer_request is not None:
-                    rekeyer_request(
-                        req_time,
-                        server_id,
-                        lm_groups[index] if lm_groups is not None else None,
-                        prior_estimate,
-                        observed,
-                    )
+                    m_delay_delayed += waited
+                    if disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                else:
+                    warmup_count += 1
+                if estimator_observe is not None:
+                    estimator_observe(server_id, disposition[2])
+                    if rekeyer_request is not None:
+                        rekeyer_request(
+                            req_time,
+                            server_id,
+                            lm_groups[index] if lm_groups is not None else None,
+                            prior_estimate,
+                            disposition[1],
+                        )
             if verify_store and not verify_consistency():
                 raise AssertionError(
                     "cache store accounting became inconsistent "
@@ -1075,5 +1315,9 @@ class ProxyCacheSimulator:
             delayed=m_delayed,
             delay_sum_delayed=m_delay_delayed,
             warmup_requests=warmup_count,
+            failed=m_failed,
+            stale_served=m_stale,
+            retried=m_retried,
+            total_retries=m_retries,
             per_object_hits=hits_by_object,
         )

@@ -217,13 +217,16 @@ def detect_log_format(path: Union[str, Path], probe_lines: int = 50) -> str:
 
 
 def iter_access_records(
-    path: Union[str, Path], log_format: str = "auto"
-) -> Iterator[Tuple[int, Optional[AccessLogRecord]]]:
+    path: Union[str, Path], log_format: str = "auto", include_text: bool = False
+) -> Iterator[Tuple]:
     """Stream ``(line_number, record-or-None)`` pairs from an access log.
 
     ``None`` marks a malformed line so callers can count (rather than crash
     on) the occasional corrupt entry real logs contain.  Blank lines and
-    ``#`` comments are skipped entirely.
+    ``#`` comments are skipped entirely.  With ``include_text`` the pairs
+    become ``(line_number, record-or-None, stripped_line)`` triples, so a
+    caller reporting malformed lines can quote the offending text without
+    re-reading the file.
     """
     if log_format == "auto":
         log_format = detect_log_format(path)
@@ -238,7 +241,15 @@ def iter_access_records(
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            yield line_number, parser(line)
+            if include_text:
+                yield line_number, parser(line), line
+            else:
+                yield line_number, parser(line)
+
+
+#: How many malformed lines :func:`ingest_access_log` quotes verbatim in the
+#: summary (and in the ``max_errors`` abort message) before just counting.
+MALFORMED_SAMPLE_LIMIT = 5
 
 
 @dataclass
@@ -260,6 +271,9 @@ class IngestSummary:
     trace_duration_s: float = 0.0
     start_timestamp: float = 0.0
     end_timestamp: float = 0.0
+    #: First few malformed lines, as ``"line N: <text>"`` (text truncated) —
+    #: enough to diagnose a bad log without grepping it.
+    malformed_samples: Tuple[str, ...] = ()
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten into a printable/serialisable dictionary."""
@@ -267,6 +281,7 @@ class IngestSummary:
             "log_format": self.log_format,
             "lines_total": self.lines_total,
             "lines_malformed": self.lines_malformed,
+            "malformed_samples": list(self.malformed_samples),
             "records_parsed": self.records_parsed,
             "records_filtered": self.records_filtered,
             "requests": self.requests,
@@ -387,6 +402,7 @@ def ingest_access_log(
     methods: Optional[Sequence[str]] = ("GET",),
     status_range: Tuple[int, int] = (100, 399),
     include_hits: bool = True,
+    max_errors: Optional[int] = None,
 ) -> IngestResult:
     """Stream an access log into a columnar trace plus sizing summary.
 
@@ -404,6 +420,13 @@ def ingest_access_log(
     include_hits:
         When False, Squid ``*_HIT`` records are filtered out, leaving the
         miss stream (what the origin servers actually saw).
+    max_errors:
+        Abort with :class:`~repro.exceptions.TraceFormatError` as soon as
+        more than this many lines fail to parse (``None`` tolerates any
+        number).  Either way malformed lines are counted, and the first
+        few are quoted in ``summary.malformed_samples``, so a slightly
+        corrupt multi-gigabyte log ingests with a warning rather than a
+        crash while a wrong ``log_format`` still fails fast.
     """
     if log_format == "auto":
         log_format = detect_log_format(path)
@@ -423,11 +446,26 @@ def ingest_access_log(
     object_sizes: List[float] = []
     object_servers: List[int] = []
 
+    if max_errors is not None and max_errors < 0:
+        raise ConfigurationError(f"max_errors must be non-negative, got {max_errors}")
     summary = IngestSummary(log_format=log_format)
-    for _, record in iter_access_records(path, log_format):
+    malformed_samples: List[str] = []
+    for line_number, record, line in iter_access_records(
+        path, log_format, include_text=True
+    ):
         summary.lines_total += 1
         if record is None:
             summary.lines_malformed += 1
+            if len(malformed_samples) < MALFORMED_SAMPLE_LIMIT:
+                text = line if len(line) <= 120 else line[:117] + "..."
+                malformed_samples.append(f"line {line_number}: {text}")
+                summary.malformed_samples = tuple(malformed_samples)
+            if max_errors is not None and summary.lines_malformed > max_errors:
+                raise TraceFormatError(
+                    f"{path}: more than {max_errors} malformed {log_format} "
+                    f"line(s); first offenders: "
+                    + "; ".join(malformed_samples)
+                )
             continue
         summary.records_parsed += 1
         if (

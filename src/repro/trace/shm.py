@@ -20,13 +20,19 @@ Lifecycle: the publisher owns the block and must call
 all workers are done; callers are expected to do so in a ``finally`` block
 so the segment is reclaimed even when a worker crashes.  Attachments hold
 the mapped block alive via the returned trace's owner reference and are
-closed when the worker process exits.
+closed when the worker process exits.  Should the *publisher* itself die
+hard (SIGKILL) before its ``finally`` runs, the segment's recognisable
+name (``repro-trace-{pid}-{token}``) lets :func:`cleanup_orphans` sweep it
+up later.
 """
 
 from __future__ import annotations
 
+import os
+import secrets
 from dataclasses import dataclass
-from typing import Tuple
+from pathlib import Path
+from typing import List, Tuple
 
 import numpy as np
 
@@ -38,10 +44,69 @@ try:  # pragma: no cover - absent only on exotic platforms
 except ImportError:  # pragma: no cover
     _shared_memory = None
 
+#: Name prefix of every segment :func:`publish_trace` creates.  Segments are
+#: named ``repro-trace-{pid}-{token}`` — the publisher's pid makes orphans
+#: (segments whose publisher died without unlinking) recognisable, and the
+#: random token keeps concurrent publishers in one process apart.
+SHM_NAME_PREFIX = "repro-trace-"
+
+#: Where POSIX shared memory appears as files (Linux); the orphan sweep is
+#: a no-op on platforms without it.
+_SHM_DIR = Path("/dev/shm")
+
 
 def shm_available() -> bool:
     """Whether :mod:`multiprocessing.shared_memory` is usable here."""
     return _shared_memory is not None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+def cleanup_orphans(prefix: str = SHM_NAME_PREFIX) -> List[str]:
+    """Unlink published trace segments whose publishing process has died.
+
+    A publisher killed hard (SIGKILL, OOM) never reaches its ``finally``
+    unlink, and a segment it created can outlive it.  This sweep scans the
+    shared-memory filesystem for ``{prefix}{pid}-{token}`` names, checks
+    whether the embedded publisher pid is still alive, and unlinks the
+    segments of dead publishers.  Returns the names removed.  Segments of
+    live publishers (including this process) are never touched; a recycled
+    pid can at worst delay reclamation until the squatter exits.  No-op on
+    platforms without a scannable ``/dev/shm``.
+    """
+    if _shared_memory is None or not _SHM_DIR.is_dir():
+        return []
+    removed: List[str] = []
+    for entry in sorted(_SHM_DIR.iterdir()):
+        name = entry.name
+        if not name.startswith(prefix):
+            continue
+        pid_text = name[len(prefix):].split("-", 1)[0]
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            entry.unlink()
+        except FileNotFoundError:  # pragma: no cover - lost a race
+            continue
+        except OSError:  # pragma: no cover - permissions; leave it be
+            continue
+        removed.append(name)
+    return removed
 
 
 @dataclass(frozen=True)
@@ -119,8 +184,24 @@ def publish_trace(trace: ColumnarTrace) -> SharedTrace:
     descriptor_size = 0
     for _, dtype in COLUMN_DTYPES:
         descriptor_size += dtype.itemsize * len(trace)
-    # A zero-request trace still needs a non-empty block to have a name.
-    shm = _shared_memory.SharedMemory(create=True, size=max(descriptor_size, 1))
+    # Recognisable names (pid + random token, see SHM_NAME_PREFIX) instead
+    # of system-assigned ones, so cleanup_orphans can identify segments
+    # whose publisher died without unlinking.  A zero-request trace still
+    # needs a non-empty block to have a name.
+    shm = None
+    for _ in range(8):
+        candidate = f"{SHM_NAME_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+        try:
+            shm = _shared_memory.SharedMemory(
+                create=True, name=candidate, size=max(descriptor_size, 1)
+            )
+            break
+        except FileExistsError:  # pragma: no cover - 32-bit token collision
+            continue
+    if shm is None:  # pragma: no cover - eight straight collisions
+        raise ConfigurationError(
+            "could not allocate a uniquely named shared-memory segment"
+        )
     try:
         descriptor = SharedTraceDescriptor(name=shm.name, num_requests=len(trace))
         columns = {

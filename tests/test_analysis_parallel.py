@@ -10,12 +10,14 @@ Two guarantees are pinned here:
   under arbitrary request streams (property-based).
 """
 
+import os
 import pickle
 
 import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
 
+from repro.analysis import parallel as parallel_mod
 from repro.analysis.parallel import (
     SimulationJob,
     replication_jobs,
@@ -24,7 +26,7 @@ from repro.analysis.parallel import (
 )
 from repro.core.policies import POLICY_REGISTRY, PolicySpec, make_policy
 from repro.core.store import CacheStore
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.network.variability import NLANRRatioVariability
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import compare_policies, run_replications, sweep_cache_sizes
@@ -116,6 +118,86 @@ def test_resolve_n_jobs():
     assert resolve_n_jobs(0) == resolve_n_jobs(-1)
     with pytest.raises(ConfigurationError):
         resolve_n_jobs(-2)
+
+
+class _CrashOnceFactory:
+    """Picklable factory that hard-kills the first worker to call it.
+
+    The sentinel file marks that the crash already happened, so the retry
+    pool's workers build a normal PB policy — simulating a transient
+    worker death (OOM kill) that a single respawn recovers from.
+    """
+
+    def __init__(self, sentinel: str):
+        self.sentinel = sentinel
+
+    def __call__(self):
+        if not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w"):
+                pass
+            os._exit(1)
+        return make_policy("PB")
+
+
+class _CrashAlwaysFactory:
+    """Picklable factory that hard-kills every worker that calls it."""
+
+    def __call__(self):  # pragma: no cover - dies before returning
+        os._exit(1)
+
+
+def test_worker_crash_is_retried_once_on_a_fresh_pool(
+    workload, sim_config, tmp_path, monkeypatch
+):
+    monkeypatch.setattr(parallel_mod, "_RETRY_BACKOFF_S", 0.0)
+    crashing = replication_jobs(
+        sim_config, _CrashOnceFactory(str(tmp_path / "crashed")), num_runs=3
+    )
+    survived = run_simulation_jobs(workload, crashing, n_jobs=2)
+    baseline = run_simulation_jobs(
+        workload, replication_jobs(sim_config, PolicySpec("PB"), num_runs=3), n_jobs=1
+    )
+    # The sweep survives the crash and still matches the serial results
+    # exactly — retried jobs rerun with their original seeds.
+    assert survived == baseline
+
+
+def test_jobs_crashing_twice_abort_with_their_indices(
+    workload, sim_config, monkeypatch
+):
+    monkeypatch.setattr(parallel_mod, "_RETRY_BACKOFF_S", 0.0)
+    jobs = replication_jobs(sim_config, _CrashAlwaysFactory(), num_runs=2)
+    with pytest.raises(SimulationError, match="worker crashes"):
+        run_simulation_jobs(workload, jobs, n_jobs=2)
+
+
+def test_job_raised_exceptions_propagate_without_retry(
+    workload, sim_config, monkeypatch
+):
+    """Deterministic job errors must not be retried (they would just repeat)."""
+    attempts = []
+    real_run_pool = parallel_mod._run_pool
+
+    def counting_run_pool(jobs, workers, initializer, initargs):
+        attempts.append(len(jobs))
+        return real_run_pool(jobs, workers, initializer, initargs)
+
+    monkeypatch.setattr(parallel_mod, "_run_pool", counting_run_pool)
+    bad_config = sim_config  # valid config; the factory itself raises
+    jobs = [
+        SimulationJob(config=bad_config, policy_factory=_RaisingFactory())
+        for _ in range(2)
+    ]
+    with pytest.raises(RuntimeError, match="deterministic failure"):
+        run_simulation_jobs(workload, jobs, n_jobs=2)
+    assert attempts == [2]  # one pool, no retry
+
+
+class _RaisingFactory:
+    """Picklable factory that raises (worker survives, future errors)."""
+
+    def __call__(self):
+        raise RuntimeError("deterministic failure")
 
 
 def test_policy_spec_is_picklable_and_equivalent():

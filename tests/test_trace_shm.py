@@ -11,6 +11,12 @@ Pinned guarantees:
   transport falls back to pickling when shared memory is unusable.
 """
 
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -22,7 +28,13 @@ from repro.network.variability import NLANRRatioVariability
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import compare_policies, run_replications
 from repro.trace.columnar import ColumnarTrace
-from repro.trace.shm import attach_trace, publish_trace, shm_available
+from repro.trace.shm import (
+    SHM_NAME_PREFIX,
+    attach_trace,
+    cleanup_orphans,
+    publish_trace,
+    shm_available,
+)
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 
 pytestmark = pytest.mark.skipif(
@@ -215,3 +227,96 @@ class _ExplodingFactory:
 
     def __call__(self):
         raise RuntimeError("boom")
+
+
+_SHM_DIR = Path("/dev/shm")
+
+needs_shm_dir = pytest.mark.skipif(
+    not _SHM_DIR.is_dir(), reason="no scannable /dev/shm on this platform"
+)
+
+#: Publisher script for the killed-publisher test: publish a small trace,
+#: report the segment name, then hang until SIGKILLed.
+_PUBLISHER_SCRIPT = """
+import sys, time
+import numpy as np
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.shm import publish_trace
+
+trace = ColumnarTrace(np.arange(16, dtype=np.float64), np.zeros(16, dtype=np.int64))
+shared = publish_trace(trace)
+print(shared.descriptor.name, flush=True)
+time.sleep(120)
+"""
+
+
+class TestOrphanSweep:
+    def test_segment_names_embed_the_publisher_pid(self, columnar_workload):
+        import os
+
+        with publish_trace(columnar_workload.trace) as shared:
+            name = shared.descriptor.name
+            assert name.startswith(SHM_NAME_PREFIX)
+            assert name[len(SHM_NAME_PREFIX):].split("-", 1)[0] == str(os.getpid())
+
+    @needs_shm_dir
+    def test_sweep_removes_dead_publishers_segment_only(self, columnar_workload):
+        # A pid that is certainly dead: spawn a trivial child and reap it.
+        child = subprocess.Popen(["sleep", "0"])
+        child.wait()
+        orphan = _SHM_DIR / f"{SHM_NAME_PREFIX}{child.pid}-deadbeef"
+        orphan.write_bytes(b"\x00" * 16)
+        live = publish_trace(columnar_workload.trace)
+        try:
+            removed = cleanup_orphans()
+            assert orphan.name in removed
+            assert not orphan.exists()
+            # The live publisher's segment must survive the sweep intact.
+            assert live.descriptor.name not in removed
+            assert attach_trace(live.descriptor) == columnar_workload.trace
+        finally:
+            live.unlink()
+
+    @needs_shm_dir
+    def test_sweep_ignores_foreign_and_unparsable_names(self):
+        stranger = _SHM_DIR / f"{SHM_NAME_PREFIX}not-a-pid"
+        stranger.write_bytes(b"\x00")
+        try:
+            assert stranger.name not in cleanup_orphans()
+            assert stranger.exists()
+        finally:
+            stranger.unlink()
+
+    @needs_shm_dir
+    def test_killed_publisher_does_not_leak_segments(self):
+        """SIGKILLed publisher: after the sweep, its segments are gone.
+
+        The publisher's resource tracker may race us to the cleanup (it
+        also notices the death); either way the invariant is that no
+        ``repro-trace-{pid}-*`` segment of the dead process survives a
+        :func:`cleanup_orphans` sweep.
+        """
+        child = subprocess.Popen(
+            [sys.executable, "-c", _PUBLISHER_SCRIPT],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            name = child.stdout.readline().strip()
+            assert name.startswith(f"{SHM_NAME_PREFIX}{child.pid}-")
+            child.send_signal(signal.SIGKILL)
+            child.wait()
+        finally:
+            child.stdout.close()
+            if child.poll() is None:  # pragma: no cover - defensive
+                child.kill()
+                child.wait()
+        # Give the child's resource tracker a moment if it is cleaning too.
+        deadline = time.monotonic() + 5.0
+        pattern = f"{SHM_NAME_PREFIX}{child.pid}-*"
+        while time.monotonic() < deadline:
+            cleanup_orphans()
+            if not list(_SHM_DIR.glob(pattern)):
+                break
+            time.sleep(0.05)
+        assert not list(_SHM_DIR.glob(pattern))
