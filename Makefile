@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check faults-smoke
+.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check faults-smoke obs-smoke
 
 ## Tier-1 verification: the full test + benchmark suite.
 test:
@@ -41,3 +41,16 @@ faults-smoke:
 	$(PYTHON) -m repro run --policy PB --scale 0.05 --knowledge passive \
 		--reactive-threshold 0.15 --reactive-passive --reactive-hysteresis 0.05 \
 		--fault-origin-outages 2 --fault-bandwidth-flaps 4 --fault-seed 1
+
+## Observability smoke: one faulted reactive replay with the windowed
+## metrics timeline, the JSONL event trace, and the stage profiler all
+## switched on, then a schema check over the two files it wrote
+## (docs/observability.md).  Artifacts land in .obs-smoke/.
+obs-smoke:
+	mkdir -p .obs-smoke
+	$(PYTHON) -m repro run --policy PB --scale 0.05 --knowledge passive \
+		--reactive-threshold 0.15 --reactive-passive --reactive-hysteresis 0.05 \
+		--fault-origin-outages 2 --fault-seed 1 \
+		--metrics-out .obs-smoke/metrics.json --metrics-window 1800 \
+		--trace-out .obs-smoke/trace.jsonl --trace-level debug --profile
+	$(PYTHON) scripts/check_obs.py .obs-smoke/metrics.json .obs-smoke/trace.jsonl

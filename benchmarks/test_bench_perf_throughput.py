@@ -15,9 +15,11 @@ passive-driven reactive re-keying overhead ratio (``reactive``, see
 per-client last-mile bandwidth composition (``docs/clients.md``) against
 the same replay with the hop unmodeled, a ``faults`` section the cost of
 an active fault schedule (``docs/faults.md``) against the same replay
-with faults disabled, and a ``dispatch`` section the parallel-dispatch
-overhead of shipping the workload to worker processes via shared memory
-versus pickling.  That file is the
+with faults disabled, an ``observability`` section the cost of a
+configured-but-disabled and of a timeline-enabled run against the bare
+replay (``docs/observability.md``), and a ``dispatch`` section the
+parallel-dispatch overhead of shipping the workload to worker processes
+via shared memory versus pickling.  That file is the
 repo's performance trajectory: the ``smoke`` section it records is the
 baseline the quick regression gate (:func:`test_throughput_smoke_regression`,
 ``make bench-smoke``) compares against.
@@ -40,6 +42,7 @@ from repro.analysis.parallel import replication_jobs, run_simulation_jobs
 from repro.core.policies import PolicySpec, make_policy
 from repro.network.distributions import NLANRBandwidthDistribution
 from repro.network.variability import NLANRRatioVariability
+from repro.obs import ObservabilityConfig
 from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.events import RemeasurementConfig
 from repro.sim.faults import FaultConfig
@@ -376,6 +379,74 @@ def test_throughput_full_200k():
         f"{requests / fault_best['healthy']:,.0f} req/s)"
     )
 
+    # Observability overhead: a run with an ObservabilityConfig whose
+    # layers are all switched off must be indistinguishable from a run
+    # with no observability at all (the loops see the same
+    # `timeline is None` dead branch either way), and the windowed
+    # timeline itself costs one float compare per request plus a
+    # snapshot per window boundary (docs/observability.md).
+    obs_disabled_config = SimulationConfig(
+        cache_size_gb=BENCH_CACHE_GB,
+        variability=NLANRRatioVariability(),
+        observability=ObservabilityConfig(timeline=False),
+        seed=BENCH_SEED,
+    )
+    obs_window_s = max(col_workload.trace.duration / 64.0, 1.0)
+    obs_timeline_config = SimulationConfig(
+        cache_size_gb=BENCH_CACHE_GB,
+        variability=NLANRRatioVariability(),
+        observability=ObservabilityConfig(window_s=obs_window_s),
+        seed=BENCH_SEED,
+    )
+    obs_disabled_simulator = ProxyCacheSimulator(col_workload, obs_disabled_config)
+    obs_timeline_simulator = ProxyCacheSimulator(col_workload, obs_timeline_config)
+    timeline_result, _, _ = _timed_run(
+        obs_timeline_simulator, col_topology, use_fast_path=True
+    )
+    assert timeline_result.timeline is not None
+    assert timeline_result.timeline.num_windows > 1
+    # Observation is read-only: the timeline must not perturb the metrics.
+    assert timeline_result.as_dict() == col_result.as_dict()
+    obs_best, obs_ratio = _paired_measurement(
+        [
+            ("absent", col_simulator, col_topology),
+            ("disabled", obs_disabled_simulator, col_topology),
+            ("timeline", obs_timeline_simulator, col_topology),
+        ],
+        rounds=3,
+    )
+    obs_overhead = obs_ratio("disabled", "absent")
+    if obs_overhead > 1.05:
+        # Identical work on both sides: anything past a few percent is a
+        # load spike, so re-sample once and keep the better block.
+        obs_best_retry, obs_ratio_retry = _paired_measurement(
+            [
+                ("absent", col_simulator, col_topology),
+                ("disabled", obs_disabled_simulator, col_topology),
+                ("timeline", obs_timeline_simulator, col_topology),
+            ],
+            rounds=3,
+        )
+        if obs_ratio_retry("disabled", "absent") < obs_overhead:
+            obs_overhead = obs_ratio_retry("disabled", "absent")
+            obs_ratio = obs_ratio_retry
+            obs_best = {
+                label: min(obs_best[label], obs_best_retry[label])
+                for label in obs_best
+            }
+    timeline_overhead = obs_ratio("timeline", "absent")
+    assert obs_overhead <= 1.05, (
+        f"disabled observability costs {obs_overhead:.3f}x the bare replay "
+        f"— the dead branch stopped being dead"
+    )
+    # The enabled timeline is one compare per request; anything past 2x
+    # means the boundary hook regressed to per-request work.
+    assert timeline_overhead <= 2.0, (
+        f"windowed timeline costs {timeline_overhead:.2f}x the bare replay "
+        f"({requests / obs_best['timeline']:,.0f} vs "
+        f"{requests / obs_best['absent']:,.0f} req/s)"
+    )
+
     # Parallel-dispatch overhead: fan the same replication grid out over a
     # small pool with the trace shipped via shared memory vs pickled into
     # the initializer.  Results must be identical; only the transport cost
@@ -470,6 +541,23 @@ def test_throughput_full_200k():
                     "final_size": heap_stats["size"],
                     "live_entries": heap_stats["live_entries"],
                     "compactions": heap_stats["compactions"],
+                },
+                "observability": {
+                    "window_s": round(obs_window_s, 1),
+                    "timeline_windows": timeline_result.timeline.num_windows,
+                    "baseline_requests_per_sec": round(
+                        requests / obs_best["absent"], 1
+                    ),
+                    "disabled_requests_per_sec": round(
+                        requests / obs_best["disabled"], 1
+                    ),
+                    "timeline_requests_per_sec": round(
+                        requests / obs_best["timeline"], 1
+                    ),
+                    "overhead_ratio_vs_baseline": round(obs_overhead, 3),
+                    "timeline_overhead_ratio_vs_baseline": round(
+                        timeline_overhead, 3
+                    ),
                 },
                 "dispatch": {
                     "requests": len(dispatch_workload.trace),

@@ -11,9 +11,10 @@ library form, by ``tests/test_docs.py``):
 * **Snippet check** — the first ``python`` code block of every page listed
   in :data:`EXECUTABLE_SNIPPETS` (the README quickstart, the
   ``docs/clients.md`` worked example, the ``docs/events.md``
-  re-measurement + reactive example, and the ``docs/faults.md`` fault
-  injection example) must run as-is (with ``src/`` on ``PYTHONPATH``), so
-  the code a reader copies cannot be stale.
+  re-measurement + reactive example, the ``docs/faults.md`` fault
+  injection example, and the ``docs/observability.md`` timeline example)
+  must run as-is (with ``src/`` on ``PYTHONPATH``), so the code a reader
+  copies cannot be stale.
 
 Exit status is non-zero when any check fails; failures are listed one per
 line as ``file:line: message``.
@@ -44,6 +45,7 @@ EXECUTABLE_SNIPPETS = (
     "docs/clients.md",
     "docs/events.md",
     "docs/faults.md",
+    "docs/observability.md",
 )
 
 

@@ -60,6 +60,7 @@ from repro.network import (
     NLANRRatioVariability,
     PathRegistry,
 )
+from repro.obs import MetricsTimeline, ObservabilityConfig
 from repro.sim import (
     BandwidthKnowledge,
     ClientCloudConfig,
@@ -110,9 +111,11 @@ __all__ = [
     "MeasurementError",
     "MeasuredPathVariability",
     "MediaObject",
+    "MetricsTimeline",
     "NLANRBandwidthDistribution",
     "NLANRRatioVariability",
     "NetworkPath",
+    "ObservabilityConfig",
     "PartialBandwidthPolicy",
     "PartialBandwidthValuePolicy",
     "PathRegistry",

@@ -28,6 +28,7 @@ from repro.core.policies import PolicySpec, make_policy
 from repro.exceptions import ConfigurationError
 from repro.network.distributions import NLANRBandwidthDistribution
 from repro.network.loganalysis import ProxyLogAnalyzer, SyntheticProxyLog
+from repro.obs import ObservabilityConfig
 from repro.network.variability import (
     MEASURED_PATH_PROFILES,
     BandwidthVariabilityModel,
@@ -878,6 +879,12 @@ def experiment_fault_tolerance(
     comparisons: Dict[str, Dict[str, PolicyComparison]] = {}
     fault_counters: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
     recovery_byte_hit: Dict[str, Dict[str, float]] = {}
+    # One windowed timeline per reaction setting, captured for free off
+    # the first outages run of the lead policy (the timeline does not
+    # perturb the simulated results, so no extra run is needed): it is
+    # the post-outage recovery curve docs/observability.md plots.
+    recovery_window_s = max(span / 40.0, 1.0)
+    recovery_timelines: Dict[str, object] = {}
     for fault_label, faults in fault_settings.items():
         comparisons[fault_label] = {}
         fault_counters[fault_label] = {}
@@ -900,9 +907,16 @@ def experiment_fault_tolerance(
                 mttr_values: List[float] = []
                 for run_index in range(num_runs):
                     run_config = config.with_seed(config.seed + run_index)
+                    if (fault_label == "outages" and run_index == 0
+                            and policy_name == policies[0]):
+                        run_config = run_config.with_observability(
+                            ObservabilityConfig(window_s=recovery_window_s)
+                        )
                     result = ProxyCacheSimulator(workload, run_config).run(
                         make_policy(policy_name)
                     )
+                    if result.timeline is not None:
+                        recovery_timelines[reaction_label] = result.timeline
                     per_run.append(result.metrics)
                     totals["shifts"] += result.reactive_shifts
                     totals["rekeys"] += result.reactive_rekeys
@@ -954,6 +968,8 @@ def experiment_fault_tolerance(
             "fault_counters": fault_counters,
             "post_outage_byte_hit": recovery_byte_hit,
             "post_outage_warmup_fraction": float(recovery_warmup),
+            "recovery_timelines": recovery_timelines,
+            "recovery_window_s": float(recovery_window_s),
         },
         notes=[
             "An origin outage shows up as availability < 1 and stale serves; the",

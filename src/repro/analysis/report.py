@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.analysis.experiments import ExperimentResult
+from repro.obs.timeline import MetricsTimeline
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.runner import PolicyComparison, SweepResult
 
@@ -76,6 +77,58 @@ def format_metrics(metrics: SimulationMetrics, precision: int = 4) -> str:
     lines = []
     for key, value in metrics.as_dict().items():
         lines.append(f"{key}: {value:.{precision}g}")
+    return "\n".join(lines)
+
+
+#: Human-readable names for the per-window fault state levels.
+_FAULT_STATES = {0: "ok", 1: "degraded", 2: "failed"}
+
+
+def format_timeline(
+    timeline: MetricsTimeline, max_rows: int = 12, precision: int = 4
+) -> str:
+    """Render a :class:`~repro.obs.timeline.MetricsTimeline` as a table.
+
+    One row per simulated-time window: request count, hit and byte-hit
+    ratios, mean service delay, cache occupancy, evictions, reactive
+    re-keys, and the window's fault state.  Timelines longer than
+    ``max_rows`` are subsampled at an even stride (the final window is
+    always shown) with a trailing note, so recovery curves stay readable
+    at any window width.
+    """
+    count = timeline.num_windows
+    if count == 0:
+        return "(empty timeline)"
+    series = timeline.series()
+    starts = timeline.window_starts()
+    stride = max(1, -(-count // max_rows))
+    indices = list(range(0, count, stride))
+    if indices[-1] != count - 1:
+        indices.append(count - 1)
+    header = ["window_start", "requests", "hit_ratio", "byte_hit",
+              "mean_delay", "occupancy", "evictions", "rekeys", "fault"]
+    rows: List[List[str]] = []
+    for index in indices:
+        rows.append([
+            f"{starts[index]:.6g}",
+            f"{int(series['requests'][index])}",
+            f"{series['hit_ratio'][index]:.{precision}g}",
+            f"{series['byte_hit_ratio'][index]:.{precision}g}",
+            f"{series['mean_delay'][index]:.{precision}g}",
+            f"{series['cache_occupancy'][index]:.{precision}g}",
+            f"{int(series['evictions'][index])}",
+            f"{int(series['reactive_rekeys'][index])}",
+            _FAULT_STATES.get(int(series["fault_state"][index]), "?"),
+        ])
+    widths = [
+        max(len(header[col]), max((len(r[col]) for r in rows), default=0))
+        for col in range(len(header))
+    ]
+    lines = [_format_row(header, widths), _format_row(["-" * w for w in widths], widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    if stride > 1:
+        lines.append(f"({count} windows of {timeline.window_s:g} s, "
+                     f"showing every {stride}th)")
     return "\n".join(lines)
 
 
@@ -149,6 +202,18 @@ def render_experiment(result: ExperimentResult) -> str:
         lines.append("")
         for path, cov in result.data["coefficients_of_variation"].items():
             lines.append(f"cov[{path}]: {float(cov):.4g}")
+
+    timelines = result.data.get("recovery_timelines")
+    if timelines:
+        window = result.data.get("outage_window")
+        if window:
+            lines.append("")
+            lines.append(f"outage window: {float(window[0]):.6g} s .. "
+                         f"{float(window[1]):.6g} s")
+        for label, timeline in timelines.items():
+            lines.append("")
+            lines.append(f"-- recovery timeline: {label} --")
+            lines.append(format_timeline(timeline))
 
     if result.notes:
         lines.append("")

@@ -29,6 +29,13 @@ outages and bandwidth flaps with retry/timeout/serve-stale degradation
 (``docs/faults.md``); ``repro-sim experiment faults`` runs the matching
 ablation.  ``ingest --max-errors N`` tolerates up to ``N`` malformed log
 lines instead of giving up on the first one.
+
+Observability (``docs/observability.md``): ``run --metrics-out`` records
+a windowed metrics timeline (``--metrics-window`` sets the bucket
+width), ``run --trace-out`` writes a structured JSONL event trace
+(``--trace-level``/``--trace-sample`` filter it), and ``run --profile``
+prints a per-stage wall-clock breakdown.  The global ``-v``/``--quiet``
+flags steer the stderr diagnostics through :mod:`repro.obs.log`.
 """
 
 from __future__ import annotations
@@ -39,9 +46,12 @@ from dataclasses import replace
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis import experiments as exp
-from repro.analysis.report import render_experiment
+from repro.analysis.report import format_timeline, render_experiment
 from repro.core.policies import PolicySpec, make_policy
 from repro.network.distributions import NLANRBandwidthDistribution
+from repro.obs import ObservabilityConfig
+from repro.obs.log import configure as _configure_logging
+from repro.obs.log import get_logger
 from repro.network.variability import (
     ConstantVariability,
     MeasuredPathVariability,
@@ -78,6 +88,10 @@ VARIABILITY_MODELS = {
     "measured": lambda: MeasuredPathVariability("average"),
 }
 
+#: CLI diagnostics go through the shared ``repro`` logger so ``-v`` /
+#: ``--quiet`` control them uniformly (stdout results are plain prints).
+_log = get_logger("cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
@@ -85,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="Network-aware partial caching simulator (Jin et al., ICDCS 2002).",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="show debug diagnostics on stderr (repeatable)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress notes and warnings on stderr "
+                             "(errors still print)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="run one policy and print its metrics")
@@ -157,6 +176,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "instead of serving the cached prefix stale")
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed of the dedicated fault random stream")
+    run.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="record a windowed metrics timeline and write it to "
+                          "this JSON file (also prints a short table; see "
+                          "docs/observability.md)")
+    run.add_argument("--metrics-window", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="simulated-time window width for --metrics-out")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write a structured JSONL event trace (admissions, "
+                          "evictions, re-keys, fault episodes, retries) to "
+                          "this file")
+    run.add_argument("--trace-level", choices=("info", "debug"), default="info",
+                     help="lowest event level kept by --trace-out (debug adds "
+                          "per-object cache admissions/evictions and retries)")
+    run.add_argument("--trace-sample", type=float, default=1.0,
+                     metavar="FRACTION",
+                     help="deterministically keep this fraction of sampled "
+                          "trace events (run-start/run-end are always kept)")
+    run.add_argument("--profile", action="store_true",
+                     help="time the run's stages (workload draw, topology "
+                          "build, replay, policy ops, estimator, fault "
+                          "evaluation) and print a wall-clock breakdown")
     run.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser(
@@ -221,7 +262,7 @@ def _client_cloud_config(args: argparse.Namespace) -> Optional[ClientCloudConfig
     """Build a :class:`ClientCloudConfig` from the shared CLI flags."""
     if args.client_clouds is None:
         if args.client_bandwidth is not None:
-            print("--client-bandwidth requires --client-clouds", file=sys.stderr)
+            _log.error("--client-bandwidth requires --client-clouds")
             raise SystemExit(2)
         return None
     if args.client_bandwidth is not None:
@@ -239,8 +280,8 @@ def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
             or args.fault_link_flaps):
         return None
     if args.fault_link_flaps and args.client_clouds is None:
-        print("--fault-link-flaps requires --client-clouds (there is no "
-              "modeled last mile to fail)", file=sys.stderr)
+        _log.error("--fault-link-flaps requires --client-clouds (there is no "
+                   "modeled last mile to fail)")
         raise SystemExit(2)
     return FaultConfig(
         random_origin_outages=args.fault_origin_outages,
@@ -256,7 +297,23 @@ def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
     )
 
 
+def _observability_config(args: argparse.Namespace) -> Optional[ObservabilityConfig]:
+    """Build an :class:`ObservabilityConfig` from the ``run`` obs flags."""
+    if not (args.metrics_out or args.trace_out or args.profile):
+        return None
+    return ObservabilityConfig(
+        window_s=args.metrics_window,
+        timeline=args.metrics_out is not None,
+        trace_path=args.trace_out,
+        trace_level=args.trace_level,
+        trace_sample=args.trace_sample,
+        profile=args.profile,
+    )
+
+
 def _run_single(args: argparse.Namespace) -> int:
+    import time as _time
+
     workload_config = WorkloadConfig(seed=args.seed)
     if args.scale != 1.0:
         workload_config = workload_config.scaled(args.scale)
@@ -268,7 +325,9 @@ def _run_single(args: argparse.Namespace) -> int:
     # Columnar workload: metrics are bit-identical to the object trace, the
     # replay skips Request boxing, and re-measurement runs take the columnar
     # event path instead of the classic calendar.
+    draw_started = _time.perf_counter()
     workload = GismoWorkloadGenerator(workload_config).generate(columnar=True)
+    workload_draw_s = _time.perf_counter() - draw_started
     remeasurement = None
     if args.remeasure_every is not None:
         remeasurement = RemeasurementConfig(interval=args.remeasure_every)
@@ -283,6 +342,7 @@ def _run_single(args: argparse.Namespace) -> int:
         reactive_hysteresis=args.reactive_hysteresis,
         reactive_rekey_cap=args.reactive_rekey_cap,
         faults=_fault_config(args),
+        observability=_observability_config(args),
         seed=args.seed,
     )
     policy = make_policy(args.policy, estimator_e=args.estimator_e)
@@ -324,6 +384,29 @@ def _run_single(args: argparse.Namespace) -> int:
                   f"mean time to recovery {report.mean_time_to_recovery_s:.6g} s")
     for key, value in result.metrics.as_dict().items():
         print(f"{key}: {value:.6g}")
+    if result.heap_statistics is not None:
+        _log.debug("policy heap: %s", result.heap_statistics)
+    if result.timeline is not None and args.metrics_out:
+        import json as _json
+        from pathlib import Path
+
+        payload = result.timeline.as_dict()
+        Path(args.metrics_out).write_text(_json.dumps(payload) + "\n")
+        print(f"metrics timeline: {result.timeline.num_windows} window(s) of "
+              f"{args.metrics_window:g} s -> {args.metrics_out}")
+        print(format_timeline(result.timeline))
+    if args.trace_out:
+        print(f"event trace: {args.trace_out}")
+    if args.profile and result.profile is not None:
+        profile = dict(result.profile)
+        # The workload is drawn before the simulator exists, so the CLI
+        # times that stage itself and folds it into the table.
+        profile["workload_draw"] = {"seconds": workload_draw_s, "calls": 1}
+        print("profile (wall-clock):")
+        for stage in sorted(profile, key=lambda s: -profile[s]["seconds"]):
+            entry = profile[stage]
+            print(f"  {stage:<16} {entry['seconds']:10.4f} s "
+                  f"{int(entry['calls']):>10} call(s)")
     return 0
 
 
@@ -350,16 +433,15 @@ def _run_ingest(args: argparse.Namespace) -> int:
     from repro.units import DEFAULT_BITRATE_KBPS
 
     if args.append and not args.out:
-        print("--append requires --out", file=sys.stderr)
+        _log.error("--append requires --out")
         return 2
     # Validate the shared client-cloud flags up front (the bandwidth-
     # without-groups error in particular), and be loud about the one case
     # where they would otherwise be silently ignored.
     client_clouds = _client_cloud_config(args)
     if client_clouds is not None and not args.compare:
-        print("note: --client-clouds only affects --compare; the archived "
-              "trace always keeps the per-client ids for later runs",
-              file=sys.stderr)
+        _log.info("--client-clouds only affects --compare; the archived "
+                  "trace always keeps the per-client ids for later runs")
 
     methods = None
     if args.methods and args.methods.strip() != "*":
@@ -374,7 +456,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
             max_errors=args.max_errors,
         )
     except TraceFormatError as error:
-        print(f"error: {error}", file=sys.stderr)
+        _log.error("%s", error)
         return 1
     for key, value in result.summary.as_dict().items():
         if key == "malformed_samples":
@@ -415,13 +497,14 @@ def _run_ingest(args: argparse.Namespace) -> int:
                     merged_clients = None
                 if merged_clients is None:
                     merged_clients = {}
-                    print(f"warning: {sidecar.name} has no client map (legacy "
-                          "sidecar); client ids of the archived segments "
-                          "cannot be aligned — the appended segment's clients "
-                          "are renumbered after the archive's "
-                          f"{int(existing.client_ids_array.max(initial=-1)) + 1} "
-                          "observed ids",
-                          file=sys.stderr)
+                    _log.warning(
+                        "%s has no client map (legacy sidecar); client ids of "
+                        "the archived segments cannot be aligned — the "
+                        "appended segment's clients are renumbered after the "
+                        "archive's %d observed ids",
+                        sidecar.name,
+                        int(existing.client_ids_array.max(initial=-1)) + 1,
+                    )
                     # Renumber past the archive's id space so the new
                     # segment's clients at least never collide with it.
                     next_free = int(existing.client_ids_array.max(initial=-1)) + 1
@@ -453,11 +536,12 @@ def _run_ingest(args: argparse.Namespace) -> int:
             else:
                 merged = None
                 merged_clients = None
-                print(f"warning: {sidecar.name} not found next to the archive; "
-                      "appending with this ingest's first-seen object and "
-                      "client ids, which may not align with the archived "
-                      "segments",
-                      file=sys.stderr)
+                _log.warning(
+                    "%s not found next to the archive; appending with this "
+                    "ingest's first-seen object and client ids, which may "
+                    "not align with the archived segments",
+                    sidecar.name,
+                )
             stitched = ColumnarTrace.concat([existing, new_trace], rebase=True)
             # Archive first, sidecar second: a failure in between leaves a
             # map that merely lacks the newest URLs (repairable by
@@ -525,6 +609,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the ``repro-sim`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(verbosity=args.verbose, quiet=args.quiet)
     if args.command == "run":
         return _run_single(args)
     if args.command == "experiment":

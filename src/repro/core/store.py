@@ -47,6 +47,11 @@ class CacheStore:
         self.capacity_kb = float(capacity_kb)
         self._entries: Dict[int, CachedObjectState] = {}
         self._used = 0.0
+        #: Monotone count of complete removals (an object's cached prefix
+        #: shrinking to zero through :meth:`set_cached_bytes`, which is
+        #: where :meth:`trim` / :meth:`evict` land).  :meth:`clear` does
+        #: not count: it resets a run, it is not a replacement decision.
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,7 +135,8 @@ class CacheStore:
                 f"only {self.free_kb:.1f} KB free"
             )
         if target_bytes <= 0:
-            self._entries.pop(object_id, None)
+            if self._entries.pop(object_id, None) is not None:
+                self.evictions += 1
         else:
             entry = self._entries.get(object_id)
             if entry is None:

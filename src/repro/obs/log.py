@@ -1,0 +1,76 @@
+"""The ``repro`` diagnostic logger: :func:`get_logger` / :func:`configure`.
+
+The CLI historically printed diagnostics (``note:``, ``warning:``,
+``error:`` prefixed lines) straight to ``stderr``.  This module routes
+them through a standard :mod:`logging` hierarchy rooted at ``"repro"``
+while keeping the exact on-the-wire format, so existing consumers that
+grep stderr (and the repo's own tests) see unchanged text.  Program
+*output* — result tables, JSON records — stays on ``stdout`` via
+``print`` and is not the logger's business.
+
+:func:`configure` installs one stderr handler on the root ``repro``
+logger; verbosity maps ``-v`` → DEBUG, default → INFO, ``--quiet`` →
+ERROR.  It is idempotent (re-running replaces the handler), so repeated
+in-process CLI invocations — the test suite's pattern — never stack
+handlers or leak captured streams.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["configure", "get_logger"]
+
+#: Root logger name for the package.
+ROOT_NAME = "repro"
+
+#: Level → line-prefix map preserving the CLI's historical format.
+_PREFIXES = {
+    logging.DEBUG: "debug",
+    logging.INFO: "note",
+    logging.WARNING: "warning",
+    logging.ERROR: "error",
+    logging.CRITICAL: "error",
+}
+
+
+class _PrefixFormatter(logging.Formatter):
+    """Format records as ``<prefix>: <message>`` — the CLI's house style."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record with its level prefix."""
+        prefix = _PREFIXES.get(record.levelno, record.levelname.lower())
+        return f"{prefix}: {record.getMessage()}"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT_NAME}.{name}" if name else ROOT_NAME)
+
+
+def configure(
+    verbosity: int = 0, quiet: bool = False, stream: Optional[IO] = None
+) -> logging.Logger:
+    """(Re-)install the stderr handler on the root ``repro`` logger.
+
+    ``verbosity`` counts ``-v`` flags (any positive value enables DEBUG);
+    ``quiet`` raises the threshold to ERROR so only hard failures print.
+    ``stream`` defaults to the *current* ``sys.stderr`` — resolved at
+    call time so pytest's capture machinery sees the output.
+    """
+    logger = logging.getLogger(ROOT_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_PrefixFormatter())
+    logger.addHandler(handler)
+    logger.propagate = False
+    if quiet:
+        logger.setLevel(logging.ERROR)
+    elif verbosity > 0:
+        logger.setLevel(logging.DEBUG)
+    else:
+        logger.setLevel(logging.INFO)
+    return logger

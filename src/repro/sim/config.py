@@ -19,6 +19,7 @@ from repro.exceptions import ConfigurationError
 from repro.network.distributions import BandwidthDistribution, NLANRBandwidthDistribution
 from repro.network.topology import ClientCloud
 from repro.network.variability import BandwidthVariabilityModel, ConstantVariability
+from repro.obs.config import ObservabilityConfig
 from repro.sim.events import RemeasurementConfig
 from repro.sim.faults import FaultConfig
 from repro.units import gb_to_kb
@@ -184,6 +185,14 @@ class SimulationConfig:
         model.  ``None`` (default) replays a fault-free network and keeps
         every replay path bit-identical to the pre-fault simulator; see
         ``docs/faults.md``.
+    observability:
+        Optional :class:`~repro.obs.config.ObservabilityConfig` switching
+        on the run's observability layers: the windowed metrics timeline
+        (``SimulationResult.timeline``), the JSONL event trace, and the
+        per-stage profiler (``SimulationResult.profile``).  ``None``
+        (default) records nothing and keeps the replay loops on their
+        uninstrumented hot path — simulated results are bit-identical
+        either way; see ``docs/observability.md``.
     seed:
         Seed for the simulation's random number generator (path bandwidth
         assignment and per-request variability draws).
@@ -208,6 +217,7 @@ class SimulationConfig:
     reactive_hysteresis: Optional[float] = None
     reactive_rekey_cap: Optional[int] = None
     faults: Optional[FaultConfig] = None
+    observability: Optional[ObservabilityConfig] = None
     seed: int = 0
     verify_store: bool = False
 
@@ -313,6 +323,15 @@ class SimulationConfig:
         Pass ``None`` to replay a fault-free network (the default).
         """
         return replace(self, faults=faults)
+
+    def with_observability(
+        self, observability: Optional[ObservabilityConfig]
+    ) -> "SimulationConfig":
+        """Copy of this config with a different observability setup.
+
+        Pass ``None`` to record nothing (the default).
+        """
+        return replace(self, observability=observability)
 
     def cache_fraction_of(self, total_unique_kb: float) -> float:
         """Cache size as a fraction of the total unique object size."""

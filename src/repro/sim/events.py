@@ -324,6 +324,7 @@ class ReactiveRekeyer:
         "entries_rekeyed",
         "suppressed",
         "rekeys_by_server",
+        "trace",
         "_max_cap",
         "_anchors",
         "_disarmed",
@@ -383,6 +384,10 @@ class ReactiveRekeyer:
         self.entries_rekeyed = 0
         self.suppressed = 0
         self.rekeys_by_server: Dict[int, int] = {}
+        #: Optional :class:`repro.obs.tracing.TraceSink` the simulator
+        #: attaches for the duration of one traced run; when set, every
+        #: re-key emits an info-level ``rekey`` event.
+        self.trace = None
         max_cap = max(group_caps) if group_caps else None
         self._max_cap = None if max_cap == float("inf") else max_cap
         #: Anchors nested per server: ``{server_id: {group_id: anchor}}``
@@ -518,9 +523,19 @@ class ReactiveRekeyer:
         rekey_bandwidth = estimate
         if self._max_cap is not None and rekey_bandwidth > self._max_cap:
             rekey_bandwidth = self._max_cap
-        self.entries_rekeyed += self.policy.on_bandwidth_shift(
-            server_id, rekey_bandwidth, now
-        )
+        rekeyed = self.policy.on_bandwidth_shift(server_id, rekey_bandwidth, now)
+        self.entries_rekeyed += rekeyed
+        if self.trace is not None:
+            self.trace.emit(
+                "info",
+                "rekey",
+                now,
+                server=server_id,
+                group=group_id,
+                anchor=anchor,
+                believed=believed,
+                entries=rekeyed,
+            )
         # Every tracked view of this server was just re-keyed: re-anchor
         # them all at their newly believed values, and (under hysteresis)
         # disarm them until their estimates settle back into the band.

@@ -521,6 +521,11 @@ class FaultInjector:
         self.stale_serves = 0
         self.failed_requests = 0
 
+        #: Optional :class:`repro.obs.tracing.TraceSink` the simulator
+        #: attaches for the duration of one traced run; when set, episode
+        #: boundaries, retries, and failed fetches emit trace events.
+        self.trace = None
+
     # -- boundary processing -------------------------------------------
     def _advance(self, now: float) -> None:
         """Process every episode boundary at or before ``now``, in order."""
@@ -536,6 +541,17 @@ class FaultInjector:
                 active = self._active_group.setdefault(episode.group_id, [])
             if action == 1:  # start
                 active.append(episode.factor)
+                if self.trace is not None:
+                    self.trace.emit(
+                        "info",
+                        "fault-episode-start",
+                        episode.start,
+                        kind=episode.kind,
+                        server=episode.server_id,
+                        group=episode.group_id,
+                        factor=episode.factor,
+                        until=episode.end,
+                    )
                 if episode.kind == "origin-outage" and self._estimator is not None:
                     for server in self._servers_of(episode):
                         self._prefault_estimates[(index, server)] = (
@@ -543,6 +559,16 @@ class FaultInjector:
                         )
             else:  # end
                 active.remove(episode.factor)
+                if self.trace is not None:
+                    self.trace.emit(
+                        "info",
+                        "fault-episode-end",
+                        episode.end,
+                        kind=episode.kind,
+                        server=episode.server_id,
+                        group=episode.group_id,
+                        factor=episode.factor,
+                    )
                 if episode.kind == "origin-outage" and self._estimator is not None:
                     for server in self._servers_of(episode):
                         snapshot = self._prefault_estimates.pop(
@@ -656,6 +682,16 @@ class FaultInjector:
             if f_effective >= self._min_factor:
                 self.retried_requests += 1
                 self.total_retries += attempt
+                if self.trace is not None:
+                    self.trace.emit(
+                        "debug",
+                        "fetch-retry",
+                        now,
+                        server=server_id,
+                        group=group_id,
+                        attempts=attempt,
+                        waited=waited,
+                    )
                 return self._deliver(
                     origin_draw, lm_draw, f_server, f_group, waited, attempt
                 )
@@ -665,6 +701,16 @@ class FaultInjector:
             self.retried_requests += 1
             self.total_retries += retries
         self.failed_fetches += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "info",
+                "fetch-failed",
+                now,
+                server=server_id,
+                group=group_id,
+                retries=retries,
+                waited=waited,
+            )
         return (FETCH_FAILED, BANDWIDTH_FLOOR, BANDWIDTH_FLOOR, waited, retries)
 
     def _deliver(

@@ -241,6 +241,32 @@ class MetricsCollector:
         """Number of requests processed during warm-up."""
         return self._warmup_requests
 
+    def snapshot(self) -> tuple:
+        """The fourteen core cumulative accumulators, as a tuple.
+
+        Order matches the keyword order of :meth:`absorb` (minus the
+        warm-up counter and per-object hit map); this is the core of
+        each :class:`repro.obs.timeline.MetricsTimeline` marker, so the
+        fast replay paths build the identical tuple from their local
+        accumulators without calling this method.
+        """
+        return (
+            self._requests,
+            self._bytes_from_cache,
+            self._bytes_from_server,
+            self._delay_sum,
+            self._quality_sum,
+            self._value_sum,
+            self._hits,
+            self._immediate,
+            self._delayed,
+            self._delay_sum_delayed,
+            self._failed,
+            self._stale_served,
+            self._retried,
+            self._total_retries,
+        )
+
     def absorb(
         self,
         *,

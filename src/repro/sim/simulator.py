@@ -46,6 +46,7 @@ hops — see ``docs/clients.md``.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -55,6 +56,9 @@ from repro.core.store import CacheStore
 from repro.exceptions import SimulationError
 from repro.network.measurement import BandwidthMeasurementLog, PassiveEstimator
 from repro.network.topology import DeliveryTopology
+from repro.obs.profiling import StageProfiler
+from repro.obs.timeline import MetricsTimeline
+from repro.obs.tracing import ObservedCacheStore, TraceSink
 from repro.sim.config import BandwidthKnowledge, SimulationConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import (
@@ -106,6 +110,18 @@ class SimulationResult:
     the run had :attr:`~repro.sim.config.SimulationConfig.faults`
     enabled; the measurement-phase view (availability, failed / stale /
     retried requests) lives on :attr:`metrics`.
+
+    The observability fields (:mod:`repro.obs`) are populated when the
+    config carries an
+    :attr:`~repro.sim.config.SimulationConfig.observability` block:
+    ``timeline`` is the finished windowed
+    :class:`~repro.obs.timeline.MetricsTimeline` (path-identical across
+    all four replay loops), and ``profile`` the per-stage wall-clock
+    report of :class:`~repro.obs.profiling.StageProfiler`.
+    ``heap_statistics`` is recorded on every run whose policy exposes it
+    (the heap-backed paper policies do): peak/live/stale entry counts and
+    compaction totals, so heap health is visible per run rather than
+    only in the benchmark suite.
     """
 
     metrics: SimulationMetrics
@@ -123,6 +139,9 @@ class SimulationResult:
     reactive_suppressed: int = 0
     reactive_rekeys_by_server: Dict[int, int] = field(default_factory=dict)
     fault_report: Optional[FaultReport] = None
+    timeline: Optional[MetricsTimeline] = None
+    profile: Optional[Dict[str, Dict[str, float]]] = None
+    heap_statistics: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten result and headline metrics into one dictionary."""
@@ -344,11 +363,28 @@ class ProxyCacheSimulator:
             the workload trace is dense columnar and no untyped engine
             events are scheduled.  All paths produce bit-identical metrics.
         """
+        obs = self.config.observability
+        profiler: Optional[StageProfiler] = None
+        sink: Optional[TraceSink] = None
+        if obs is not None and obs.profile:
+            profiler = StageProfiler()
+        if obs is not None and obs.trace_path is not None:
+            sink = TraceSink(
+                obs.trace_path, level=obs.trace_level, sample=obs.trace_sample
+            )
+
         rng = np.random.default_rng(self.config.seed)
         if topology is None:
-            topology = self.build_topology(rng)
+            if profiler is not None:
+                with profiler.stage("topology_build"):
+                    topology = self.build_topology(rng)
+            else:
+                topology = self.build_topology(rng)
 
-        store = CacheStore(self.config.cache_size_kb)
+        if sink is not None:
+            store: CacheStore = ObservedCacheStore(self.config.cache_size_kb, sink)
+        else:
+            store = CacheStore(self.config.cache_size_kb)
         if hasattr(policy, "install"):
             policy.install(store, self.workload.catalog)
 
@@ -410,6 +446,18 @@ class ProxyCacheSimulator:
                 fault_schedule, self.config.faults, estimator=estimator
             )
 
+        timeline: Optional[MetricsTimeline] = None
+        if obs is not None and obs.timeline:
+            timeline = MetricsTimeline(
+                obs.window_s, trace.start_time if total_requests else 0.0
+            )
+            timeline.bind(store=store, rekeyer=rekeyer, injector=injector)
+        if sink is not None:
+            if rekeyer is not None:
+                rekeyer.trace = sink
+            if injector is not None:
+                injector.trace = sink
+
         engine = SimulationEngine()
         self.schedule_auxiliary_events(engine, topology, store, collector)
         have_hook_events = len(engine.queue) > 0
@@ -427,52 +475,107 @@ class ProxyCacheSimulator:
         # after every request's estimator update (docs/events.md).
         passive_rekeyer = rekeyer if self.config.reactive_passive else None
 
-        if mode == "fast":
-            self._replay_fast(
-                policy,
-                topology,
-                store,
-                collector,
-                estimator,
-                rng,
-                warmup_cutoff,
-                last_mile,
-                passive_rekeyer,
-                injector,
-            )
-        elif mode == "columnar-event":
-            self._replay_events_columnar(
-                schedule,
-                policy,
-                topology,
-                store,
-                collector,
-                estimator,
-                rng,
-                warmup_cutoff,
-                dense_bound,
-                last_mile,
-                passive_rekeyer,
-                injector,
-            )
-        else:
-            schedule.schedule_into(engine)
-            self._replay_events(
-                engine,
-                policy,
-                topology,
-                store,
-                collector,
-                estimator,
-                rng,
-                warmup_cutoff,
-                last_mile,
-                passive_rekeyer,
-                injector,
+        if profiler is not None:
+            # Instance-attribute wrappers shadow the bound methods the
+            # replay loops localise; detach_all() removes them again so
+            # profiling leaves no trace on the shared objects.
+            profiler.attach(policy, "on_request", "policy_ops")
+            if estimator is not None:
+                profiler.attach(estimator, "estimate", "estimator")
+                profiler.attach(estimator, "observe", "estimator")
+            if injector is not None:
+                profiler.attach(injector, "intercept", "fault_evaluation")
+
+        if sink is not None:
+            sink.emit(
+                "info",
+                "run-start",
+                trace.start_time if total_requests else 0.0,
+                policy=getattr(policy, "name", type(policy).__name__),
+                replay=mode,
+                seed=self.config.seed,
+                requests=total_requests,
             )
 
+        replay_started = _time.perf_counter() if profiler is not None else 0.0
+        try:
+            if mode == "fast":
+                self._replay_fast(
+                    policy,
+                    topology,
+                    store,
+                    collector,
+                    estimator,
+                    rng,
+                    warmup_cutoff,
+                    last_mile,
+                    passive_rekeyer,
+                    injector,
+                    timeline,
+                )
+            elif mode == "columnar-event":
+                self._replay_events_columnar(
+                    schedule,
+                    policy,
+                    topology,
+                    store,
+                    collector,
+                    estimator,
+                    rng,
+                    warmup_cutoff,
+                    dense_bound,
+                    last_mile,
+                    passive_rekeyer,
+                    injector,
+                    timeline,
+                )
+            else:
+                schedule.schedule_into(engine)
+                self._replay_events(
+                    engine,
+                    policy,
+                    topology,
+                    store,
+                    collector,
+                    estimator,
+                    rng,
+                    warmup_cutoff,
+                    last_mile,
+                    passive_rekeyer,
+                    injector,
+                    timeline,
+                )
+
+            if timeline is not None:
+                timeline.finish(
+                    trace.end_time if total_requests else 0.0,
+                    collector.snapshot(),
+                )
+
+            metrics = collector.finalize()
+            if sink is not None:
+                sink.emit(
+                    "info",
+                    "run-end",
+                    trace.end_time if total_requests else 0.0,
+                    requests=metrics.requests,
+                    hit_ratio=metrics.hit_ratio,
+                    byte_hit_ratio=metrics.byte_hit_ratio,
+                    evictions=store.evictions,
+                )
+        finally:
+            if profiler is not None:
+                profiler.add("replay", _time.perf_counter() - replay_started)
+                profiler.detach_all()
+            if sink is not None:
+                sink.close()
+            if rekeyer is not None:
+                rekeyer.trace = None
+            if injector is not None:
+                injector.trace = None
+
         return SimulationResult(
-            metrics=collector.finalize(),
+            metrics=metrics,
             policy_name=getattr(policy, "name", type(policy).__name__),
             config=self.config,
             final_cache_occupancy=store.occupancy,
@@ -489,6 +592,13 @@ class ProxyCacheSimulator:
                 dict(rekeyer.rekeys_by_server) if rekeyer is not None else {}
             ),
             fault_report=injector.report() if injector is not None else None,
+            timeline=timeline,
+            profile=profiler.report() if profiler is not None else None,
+            heap_statistics=(
+                policy.heap_statistics()
+                if hasattr(policy, "heap_statistics")
+                else None
+            ),
         )
 
     @staticmethod
@@ -546,6 +656,7 @@ class ProxyCacheSimulator:
         last_mile: Optional[tuple] = None,
         rekeyer: Optional[ReactiveRekeyer] = None,
         injector: Optional[FaultInjector] = None,
+        timeline: Optional[MetricsTimeline] = None,
     ) -> None:
         """Dispatch every request through the discrete-event engine.
 
@@ -572,9 +683,18 @@ class ProxyCacheSimulator:
         lm_base, lm_observed, lm_groups = (
             last_mile if last_mile is not None else (None, None, None)
         )
+        # Timeline boundary: the engine fires same-time auxiliary events
+        # (negative priority) before the request handler, so a snapshot at
+        # the top of handle_request sits at exactly the sequence point the
+        # columnar loops snapshot at (after fire_before, before warm-up
+        # flip) — that is what makes the markers path-identical.
+        tl_boundary = timeline.first_boundary if timeline is not None else float("inf")
 
         def handle_request(engine: SimulationEngine, payload) -> None:
+            nonlocal tl_boundary
             index, request = payload
+            if request.time >= tl_boundary:
+                tl_boundary = timeline.close(request.time, collector.snapshot())
             if index == warmup_cutoff:
                 collector.measuring = True
             obj = catalog.get(request.object_id)
@@ -722,6 +842,7 @@ class ProxyCacheSimulator:
         last_mile: Optional[tuple] = None,
         rekeyer: Optional[ReactiveRekeyer] = None,
         injector: Optional[FaultInjector] = None,
+        timeline: Optional[MetricsTimeline] = None,
     ) -> None:
         """Iterate the trace in a tight loop, bypassing the event calendar.
 
@@ -755,6 +876,7 @@ class ProxyCacheSimulator:
                     last_mile,
                     rekeyer,
                     injector,
+                    timeline,
                 )
 
         ratio_array = self._predraw_ratios(topology, rng, len(trace))
@@ -801,6 +923,14 @@ class ProxyCacheSimulator:
         warmup_count = 0
         hits_by_object: Dict[int, int] = {}
 
+        # Timeline boundary check: one float compare per request; with no
+        # timeline the boundary is +inf and the branch never runs.  The
+        # snapshot tuple is built inline — a helper closing over the m_*
+        # locals would turn them into cell variables and slow the whole
+        # loop even when the timeline is disabled.
+        tl_close = timeline.close if timeline is not None else None
+        tl_boundary = timeline.first_boundary if timeline is not None else inf
+
         # Pre-extract the two request fields the loop needs.  A non-dense
         # columnar trace hands its arrays over directly (one batch
         # ``tolist`` per column, native scalars, no Request boxing); an
@@ -816,6 +946,26 @@ class ProxyCacheSimulator:
             request_fields = [(request.object_id, request.time) for request in trace]
 
         for index, (object_id, req_time) in enumerate(request_fields):
+            if req_time >= tl_boundary:
+                tl_boundary = tl_close(
+                    req_time,
+                    (
+                        m_requests,
+                        m_bytes_cache,
+                        m_bytes_server,
+                        m_delay,
+                        m_quality,
+                        m_value,
+                        m_hits,
+                        m_immediate,
+                        m_delayed,
+                        m_delay_delayed,
+                        m_failed,
+                        m_stale,
+                        m_retried,
+                        m_retries,
+                    ),
+                )
             if index == warmup_cutoff:
                 measuring = True
             entry = resolved.get(object_id)
@@ -1010,6 +1160,7 @@ class ProxyCacheSimulator:
         last_mile: Optional[tuple] = None,
         rekeyer: Optional[ReactiveRekeyer] = None,
         injector: Optional[FaultInjector] = None,
+        timeline: Optional[MetricsTimeline] = None,
     ) -> None:
         """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
 
@@ -1032,6 +1183,7 @@ class ProxyCacheSimulator:
             last_mile,
             rekeyer,
             injector,
+            timeline,
         )
 
     # ------------------------------------------------------------------
@@ -1051,6 +1203,7 @@ class ProxyCacheSimulator:
         last_mile: Optional[tuple] = None,
         rekeyer: Optional[ReactiveRekeyer] = None,
         injector: Optional[FaultInjector] = None,
+        timeline: Optional[MetricsTimeline] = None,
     ) -> None:
         """Event-capable replay over a dense-id columnar trace.
 
@@ -1129,6 +1282,14 @@ class ProxyCacheSimulator:
         aux_heap = schedule.begin()
         fire_before = schedule.fire_before
 
+        # Timeline boundary check: one float compare per request; with no
+        # timeline the boundary is +inf and the branch never runs.  The
+        # snapshot tuple is built inline — a helper closing over the m_*
+        # locals would turn them into cell variables and slow the whole
+        # loop even when the timeline is disabled.
+        tl_close = timeline.close if timeline is not None else None
+        tl_boundary = timeline.first_boundary if timeline is not None else inf
+
         measuring = collector.measuring
         m_requests = 0
         m_bytes_cache = 0.0
@@ -1155,6 +1316,26 @@ class ProxyCacheSimulator:
             # — the columnar fast path — at one truthiness check.
             if aux_heap and (aux_heap[0][0], aux_heap[0][1]) < (req_time, 0):
                 fire_before(req_time)
+            if req_time >= tl_boundary:
+                tl_boundary = tl_close(
+                    req_time,
+                    (
+                        m_requests,
+                        m_bytes_cache,
+                        m_bytes_server,
+                        m_delay,
+                        m_quality,
+                        m_value,
+                        m_hits,
+                        m_immediate,
+                        m_delayed,
+                        m_delay_delayed,
+                        m_failed,
+                        m_stale,
+                        m_retried,
+                        m_retries,
+                    ),
+                )
             if index == warmup_cutoff:
                 measuring = True
 

@@ -40,6 +40,8 @@ def test_required_documents_exist():
         "docs/architecture.md",
         "docs/clients.md",
         "docs/events.md",
+        "docs/faults.md",
+        "docs/observability.md",
         "docs/performance.md",
         "docs/traces.md",
     ):
@@ -81,10 +83,23 @@ def test_events_example_runs_as_is(check_docs):
     assert "shifts re-keyed" in output
 
 
+def test_observability_example_runs_as_is(check_docs):
+    snippet = check_docs.extract_python_block(
+        REPO_ROOT / "docs" / "observability.md"
+    )
+    assert snippet is not None, "docs/observability.md lost its ```python example"
+    code, output = check_docs.run_snippet(snippet)
+    assert code == 0, f"docs/observability.md example failed:\n{output}"
+    # The example prints the window count and the promoted heap stats.
+    assert "windows of" in output
+    assert "heap:" in output
+
+
 def test_executable_snippet_registry_covers_clients_page(check_docs):
     assert "docs/clients.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "README.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "docs/events.md" in check_docs.EXECUTABLE_SNIPPETS
+    assert "docs/observability.md" in check_docs.EXECUTABLE_SNIPPETS
 
 
 def test_link_checker_flags_broken_links(check_docs, tmp_path):
@@ -100,10 +115,11 @@ def test_link_checker_flags_broken_links(check_docs, tmp_path):
 
 
 # ----------------------------------------------------------------------
-# Docstring pass: repro.trace, repro.sim, and repro.network are
-# help()-complete (repro.network joined with the client-cloud API).
+# Docstring pass: repro.trace, repro.sim, repro.network, and repro.obs
+# are help()-complete (repro.network joined with the client-cloud API,
+# repro.obs with the observability subsystem).
 # ----------------------------------------------------------------------
-DOCUMENTED_PACKAGES = ("repro.trace", "repro.sim", "repro.network")
+DOCUMENTED_PACKAGES = ("repro.trace", "repro.sim", "repro.network", "repro.obs")
 
 
 def _exported_symbols(package_name):
