@@ -51,9 +51,15 @@ RATIO_KEYS: Dict[str, tuple] = {
     "speedup": ("higher", 0.40),
     "columnar_speedup_vs_fast_path": ("higher", None),
     "columnar_event_speedup_vs_event_path": ("higher", 0.40),
-    "remeasurement.overhead_ratio_vs_passive": ("lower", None),
+    # The remeasurement and reactive overheads are dominated by per-request
+    # interpreter work layered on the numpy-bound columnar-event baseline,
+    # so interpreter state (and whether the benchmark runs standalone or
+    # inside the full suite, as CI does) moves the ratio with no code
+    # change: observed spans on the 1-core runner are 0.89–1.29 for
+    # remeasurement and 1.08–1.62 for reactive, past the default gate.
+    "remeasurement.overhead_ratio_vs_passive": ("lower", 0.40),
     "client_clouds.overhead_ratio_vs_uniform": ("lower", None),
-    "reactive.overhead_ratio_vs_passive": ("lower", None),
+    "reactive.overhead_ratio_vs_passive": ("lower", 0.40),
     # The fault-injection overhead is a few percent at most, so run-to-run
     # timer noise dominates the ratio itself (baselines below 1.0 occur);
     # the wider tolerance keeps a noise-low committed baseline from turning
