@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check faults-smoke obs-smoke
+.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check faults-smoke obs-smoke streaming-smoke
 
 ## Tier-1 verification: the full test + benchmark suite.
 test:
@@ -54,3 +54,12 @@ obs-smoke:
 		--metrics-out .obs-smoke/metrics.json --metrics-window 1800 \
 		--trace-out .obs-smoke/trace.jsonl --trace-level debug --profile
 	$(PYTHON) scripts/check_obs.py .obs-smoke/metrics.json .obs-smoke/trace.jsonl
+
+## Streaming smoke: the streaming test suite (engine semantics,
+## replay-path bit-identity with sessions on, the golden QoE fixture, the
+## prefix-vs-whole ablation) plus one CLI replay with segment-aware
+## sessions and the QoE report end-to-end (docs/streaming.md).
+streaming-smoke:
+	$(PYTHON) -m pytest -q tests/test_sim_streaming.py tests/test_streaming_segmentation.py
+	$(PYTHON) -m repro run --policy PB --scale 0.05 --knowledge passive \
+		--client-clouds 8 --streaming-fraction 1.0 --streaming-prefetch 2

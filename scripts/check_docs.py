@@ -12,7 +12,8 @@ library form, by ``tests/test_docs.py``):
   in :data:`EXECUTABLE_SNIPPETS` (the README quickstart, the
   ``docs/clients.md`` worked example, the ``docs/events.md``
   re-measurement + reactive example, the ``docs/faults.md`` fault
-  injection example, and the ``docs/observability.md`` timeline example)
+  injection example, the ``docs/observability.md`` timeline example, and
+  the ``docs/streaming.md`` prefix-vs-whole ablation example)
   must run as-is (with ``src/`` on ``PYTHONPATH``), so the code a reader
   copies cannot be stale.
 
@@ -46,6 +47,7 @@ EXECUTABLE_SNIPPETS = (
     "docs/events.md",
     "docs/faults.md",
     "docs/observability.md",
+    "docs/streaming.md",
 )
 
 

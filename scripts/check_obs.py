@@ -40,6 +40,10 @@ REQUIRED_SERIES = (
     "reactive_shifts",
     "reactive_rekeys",
     "fault_state",
+    "streaming_startup_delay",
+    "streaming_rebuffer_ratio",
+    "streaming_quality",
+    "streaming_abandonment_rate",
 )
 
 #: Envelope fields every trace line must carry.

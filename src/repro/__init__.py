@@ -70,10 +70,13 @@ from repro.sim import (
     RemeasurementConfig,
     SimulationConfig,
     SimulationMetrics,
+    StreamingConfig,
+    StreamingReport,
     compare_policies,
     run_replications,
     sweep_cache_sizes,
 )
+from repro.streaming import SegmentedPrefix
 from repro.trace import ColumnarTrace, ingest_access_log
 from repro.workload import (
     Catalog,
@@ -125,10 +128,13 @@ __all__ = [
     "ReproError",
     "Request",
     "RequestTrace",
+    "SegmentedPrefix",
     "SimulationConfig",
     "SimulationError",
     "SimulationMetrics",
     "StaticAllocationPolicy",
+    "StreamingConfig",
+    "StreamingReport",
     "TraceFormatError",
     "UnknownObjectError",
     "Workload",

@@ -177,6 +177,27 @@ def render_experiment(result: ExperimentResult) -> str:
                 )
                 lines.append(f"   reactive: {summary}")
 
+    grid = result.data.get("comparisons")
+    if isinstance(grid, dict):
+        qoe = result.data.get("qoe", {})
+        for outer_label, inner in grid.items():
+            if not isinstance(inner, dict):
+                continue
+            for inner_label, comparison in inner.items():
+                if not isinstance(comparison, PolicyComparison):
+                    continue
+                lines.append("")
+                lines.append(f"-- {outer_label} / {inner_label} --")
+                lines.append(format_comparison(comparison))
+                cell_qoe = qoe.get(outer_label, {}).get(inner_label)
+                if cell_qoe:
+                    for policy, values in cell_qoe.items():
+                        summary = ", ".join(
+                            f"{name}={float(value):.4g}"
+                            for name, value in values.items()
+                        )
+                        lines.append(f"   QoE[{policy}]: {summary}")
+
     scalar_keys = [
         "fraction_below_50",
         "fraction_below_100",

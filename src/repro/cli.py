@@ -27,8 +27,13 @@ cache-to-client path per client group, homogeneous with
 ``docs/clients.md``).  The ``run --fault-*`` family injects origin
 outages and bandwidth flaps with retry/timeout/serve-stale degradation
 (``docs/faults.md``); ``repro-sim experiment faults`` runs the matching
-ablation.  ``ingest --max-errors N`` tolerates up to ``N`` malformed log
-lines instead of giving up on the first one.
+ablation.  ``run --streaming-fraction`` marks that share of the catalog
+as media streams delivered as segment-wise sessions with partial-object
+(prefix) caching and per-session QoE metrics — ``--streaming-whole-object``
+flips the ablation baseline, and ``repro-sim experiment streaming`` runs
+the full prefix-vs-whole grid (``docs/streaming.md``).  ``ingest
+--max-errors N`` tolerates up to ``N`` malformed log lines instead of
+giving up on the first one.
 
 Observability (``docs/observability.md``): ``run --metrics-out`` records
 a windowed metrics timeline (``--metrics-window`` sets the bucket
@@ -61,6 +66,7 @@ from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationCo
 from repro.sim.events import RemeasurementConfig
 from repro.sim.faults import FaultConfig
 from repro.sim.simulator import ProxyCacheSimulator
+from repro.sim.streaming import StreamingConfig
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 
 #: Experiment name to entry-point mapping for the ``experiment`` sub-command.
@@ -79,6 +85,7 @@ EXPERIMENTS: Dict[str, Callable[..., exp.ExperimentResult]] = {
     "faults": exp.experiment_fault_tolerance,
     "hetero": exp.experiment_client_heterogeneity,
     "reactive": exp.experiment_reactive_rekeying,
+    "streaming": exp.experiment_streaming_delivery,
     "tab1": exp.experiment_table1_workload,
 }
 
@@ -176,6 +183,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "instead of serving the cached prefix stale")
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed of the dedicated fault random stream")
+    run.add_argument("--streaming-fraction", type=float, default=None,
+                     metavar="FRACTION",
+                     help="treat this fraction of the catalog as media streams "
+                          "fetched as segment-wise sessions with partial-object "
+                          "(prefix) caching and per-session QoE metrics "
+                          "(see docs/streaming.md); enables streaming delivery")
+    run.add_argument("--streaming-whole-object", action="store_true",
+                     help="ablation: cache selected streams whole-or-nothing "
+                          "instead of as segment-quantised prefixes "
+                          "(requires --streaming-fraction)")
+    run.add_argument("--streaming-segment-kb", type=float, default=256.0,
+                     metavar="KB",
+                     help="base segment size for the streaming segmentation "
+                          "scheme (segments grow exponentially from this)")
+    run.add_argument("--streaming-prefetch", type=int, default=1, metavar="N",
+                     help="extra segments prefetched past each admission "
+                          "target while a session is playing")
+    run.add_argument("--streaming-abandon-after", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="a session abandons rather than wait longer than "
+                          "this for full-quality startup (it degrades to a "
+                          "sustainable layer subset first when possible)")
     run.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="record a windowed metrics timeline and write it to "
                           "this JSON file (also prints a short table; see "
@@ -297,6 +326,23 @@ def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
     )
 
 
+def _streaming_config(args: argparse.Namespace) -> Optional[StreamingConfig]:
+    """Build a :class:`StreamingConfig` from the ``run --streaming-*`` flags."""
+    if args.streaming_fraction is None:
+        if args.streaming_whole_object:
+            _log.error("--streaming-whole-object requires --streaming-fraction")
+            raise SystemExit(2)
+        return None
+    return StreamingConfig(
+        fraction=args.streaming_fraction,
+        prefix_caching=not args.streaming_whole_object,
+        base_segment_kb=args.streaming_segment_kb,
+        prefetch_segments=args.streaming_prefetch,
+        abandon_after_s=args.streaming_abandon_after,
+        seed=args.seed,
+    )
+
+
 def _observability_config(args: argparse.Namespace) -> Optional[ObservabilityConfig]:
     """Build an :class:`ObservabilityConfig` from the ``run`` obs flags."""
     if not (args.metrics_out or args.trace_out or args.profile):
@@ -342,6 +388,7 @@ def _run_single(args: argparse.Namespace) -> int:
         reactive_hysteresis=args.reactive_hysteresis,
         reactive_rekey_cap=args.reactive_rekey_cap,
         faults=_fault_config(args),
+        streaming=_streaming_config(args),
         observability=_observability_config(args),
         seed=args.seed,
     )
@@ -382,6 +429,22 @@ def _run_single(args: argparse.Namespace) -> int:
         if report.mean_time_to_recovery_s is not None:
             print(f"estimate recovery: {len(report.recoveries)} outage(s) recovered, "
                   f"mean time to recovery {report.mean_time_to_recovery_s:.6g} s")
+    if result.streaming_report is not None:
+        report = result.streaming_report
+        mode = "prefix" if config.streaming.prefix_caching else "whole-object"
+        print(f"streaming: {report.stream_objects} stream object(s), "
+              f"{report.sessions} session(s), {mode} caching")
+        print(f"streaming sessions: {report.waited_sessions} waited, "
+              f"{report.degraded_sessions} degraded, "
+              f"{report.abandoned_sessions} abandoned")
+        print(f"streaming QoE: startup {report.mean_startup_delay_s:.6g} s, "
+              f"rebuffer {report.rebuffer_ratio:.6g}, "
+              f"quality {report.mean_quality:.6g}, "
+              f"abandonment {report.abandonment_rate:.6g}")
+        if config.streaming.prefix_caching:
+            print(f"streaming cache: {report.prefetch_extensions} prefetch "
+                  f"extension(s), {report.fragment_trims} fragment trim(s), "
+                  f"{report.pressure_trimmed_kb:.6g} KB trimmed under pressure")
     for key, value in result.metrics.as_dict().items():
         print(f"{key}: {value:.6g}")
     if result.heap_statistics is not None:

@@ -91,6 +91,18 @@ class CachePolicy(ABC):
     #: caches from compacting on every request.
     _COMPACTION_SLACK: int = 64
 
+    #: Streaming hooks, installed per run by the simulator when a
+    #: :class:`~repro.sim.streaming.StreamingConfig` is active and removed
+    #: again afterwards.  ``stream_quantize(object_id, target_kb, size_kb)``
+    #: reshapes the admission target of stream objects (segment-boundary
+    #: quantisation plus session prefetch, or whole-object in the ablation
+    #: baseline); ``stream_trim(victim_id, needed_kb)`` reclaims space from
+    #: a stream victim by dropping tail segments, returning ``(reclaimed,
+    #: emptied)``, or ``None`` for non-stream victims.  Both default to
+    #: ``None`` so the streaming-off request path costs one attribute test.
+    stream_quantize = None
+    stream_trim = None
+
     def __init__(self, frequency_tracker: Optional[FrequencyTracker] = None):
         self.frequencies = frequency_tracker or FrequencyTracker()
         self._catalog = None
@@ -316,6 +328,9 @@ class CachePolicy(ABC):
         size = obj.size
         if target > size:
             target = size
+        quantize = self.stream_quantize
+        if quantize is not None:
+            target = quantize(object_id, target, size)
 
         if current > 0:
             # Refresh the requester's key: its frequency just increased.
@@ -397,9 +412,29 @@ class CachePolicy(ABC):
 
         # Commit evictions.  With full satisfaction a partial policy only
         # trims the marginal (last) victim by what is actually required.
+        # Stream victims (streaming hook installed) lose whole tail
+        # segments instead: the engine floors the reclaim to segment
+        # boundaries and reports whether the victim emptied.
         still_needed = shortfall
+        stream_trim = self.stream_trim
         for index, (victim_id, victim_utility, victim_bytes) in enumerate(planned):
             is_last = index == len(planned) - 1
+            if stream_trim is not None:
+                want = (
+                    still_needed
+                    if self.allows_partial and fully_satisfied and is_last
+                    else victim_bytes
+                )
+                trimmed = stream_trim(victim_id, want)
+                if trimmed is not None:
+                    reclaimed_kb, emptied = trimmed
+                    if emptied:
+                        self._drop_utility(victim_id)
+                        self.on_evict(victim_id, victim_utility)
+                    else:
+                        self._restore(victim_id, victim_utility)
+                    still_needed -= reclaimed_kb
+                    continue
             if self.allows_partial and fully_satisfied and is_last:
                 trimmed = store.trim(victim_id, still_needed)
                 if store.cached_bytes(victim_id) <= _EPSILON_KB:

@@ -40,9 +40,9 @@ import numpy as np
 __all__ = ["CUMULATIVE_FIELDS", "GAUGE_FIELDS", "MetricsTimeline"]
 
 #: Field names of one cumulative snapshot row, in storage order.  The
-#: first fourteen mirror :meth:`MetricsCollector.snapshot`; the final six
-#: are read from the cache store, the reactive re-keyer, and the fault
-#: injector at snapshot time.
+#: first fourteen mirror :meth:`MetricsCollector.snapshot`; the rest are
+#: read from the cache store, the reactive re-keyer, the fault injector,
+#: and the streaming delivery engine at snapshot time.
 CUMULATIVE_FIELDS = (
     "requests",
     "bytes_from_cache",
@@ -64,6 +64,12 @@ CUMULATIVE_FIELDS = (
     "fault_degraded",
     "fault_failed_fetches",
     "fault_stale_serves",
+    "streaming_sessions",
+    "streaming_startup_sum",
+    "streaming_rebuffer_sum",
+    "streaming_watch_sum",
+    "streaming_quality_sum",
+    "streaming_abandoned",
 )
 
 #: Instantaneous gauges sampled alongside each snapshot (not cumulative).
@@ -77,6 +83,10 @@ _INTEGER_FIELDS = frozenset(CUMULATIVE_FIELDS) - {
     "quality_sum",
     "value_sum",
     "delay_sum_delayed",
+    "streaming_startup_sum",
+    "streaming_rebuffer_sum",
+    "streaming_watch_sum",
+    "streaming_quality_sum",
 }
 
 _N_FIELDS = len(CUMULATIVE_FIELDS)
@@ -107,6 +117,7 @@ class MetricsTimeline:
         self._store = None
         self._rekeyer = None
         self._injector = None
+        self._streaming = None
         self._cum: Optional[np.ndarray] = None
         self._occ: Optional[np.ndarray] = None
         self._objs: Optional[np.ndarray] = None
@@ -121,23 +132,26 @@ class MetricsTimeline:
         """Whether :meth:`finish` has sealed the record."""
         return self._finished
 
-    def bind(self, store=None, rekeyer=None, injector=None) -> None:
+    def bind(self, store=None, rekeyer=None, injector=None, streaming=None) -> None:
         """Attach the components whose counters extend each snapshot.
 
         ``store`` supplies evictions and the occupancy gauges,
-        ``rekeyer`` the reactive shift/re-key counters, and ``injector``
-        the fault counters; any of them may be ``None`` (the
-        corresponding fields record zero).  References are dropped by
-        :meth:`finish` so a finished timeline holds no simulator state.
+        ``rekeyer`` the reactive shift/re-key counters, ``injector``
+        the fault counters, and ``streaming`` the per-session QoE
+        accumulators; any of them may be ``None`` (the corresponding
+        fields record zero).  References are dropped by :meth:`finish`
+        so a finished timeline holds no simulator state.
         """
         self._store = store
         self._rekeyer = rekeyer
         self._injector = injector
+        self._streaming = streaming
 
     def _extras(self) -> tuple:
         store = self._store
         rekeyer = self._rekeyer
         injector = self._injector
+        streaming = self._streaming
         return (
             store.evictions if store is not None else 0,
             rekeyer.shifts if rekeyer is not None else 0,
@@ -145,6 +159,12 @@ class MetricsTimeline:
             injector.degraded_requests if injector is not None else 0,
             injector.failed_fetches if injector is not None else 0,
             injector.stale_serves if injector is not None else 0,
+            streaming.sessions if streaming is not None else 0,
+            streaming.startup_sum if streaming is not None else 0.0,
+            streaming.rebuffer_sum if streaming is not None else 0.0,
+            streaming.watch_sum if streaming is not None else 0.0,
+            streaming.quality_sum if streaming is not None else 0.0,
+            streaming.abandoned if streaming is not None else 0,
         )
 
     def close(self, now: float, core: tuple) -> float:
@@ -189,6 +209,7 @@ class MetricsTimeline:
         self._store = None
         self._rekeyer = None
         self._injector = None
+        self._streaming = None
 
     # -- read accessors -------------------------------------------------
 
@@ -268,7 +289,11 @@ class MetricsTimeline:
         Ratios guard division by zero with zero; ``fault_state`` encodes
         the per-window fault condition as ``0`` (healthy), ``1``
         (degraded: slowed fetches or stale serves), or ``2`` (failed:
-        at least one fetch failure in the window).
+        at least one fetch failure in the window).  The ``streaming_*``
+        series are per-session QoE averages over the window — startup
+        delay, rebuffer ratio (stall time over stall-plus-watch time),
+        delivered quality, and abandonment rate — and are all-zero when
+        the run had no streaming workload.
         """
         self._expand()
         requests = self.delta("requests").astype(np.float64)
@@ -287,6 +312,15 @@ class MetricsTimeline:
         fault_state = np.where(failed, 2, np.where(degraded, 1, 0)).astype(
             np.int64
         )
+        sessions = self.delta("streaming_sessions").astype(np.float64)
+        startup = self.delta("streaming_startup_sum")
+        rebuffer = self.delta("streaming_rebuffer_sum")
+        watch = self.delta("streaming_watch_sum")
+        stream_quality = self.delta("streaming_quality_sum")
+        abandoned = self.delta("streaming_abandoned").astype(np.float64)
+        safe_sessions = np.where(sessions > 0, sessions, 1.0)
+        stall_and_watch = rebuffer + watch
+        safe_stall_watch = np.where(stall_and_watch > 0, stall_and_watch, 1.0)
         return {
             "requests": requests.astype(np.int64),
             "hits": hits.astype(np.int64),
@@ -301,6 +335,18 @@ class MetricsTimeline:
             "reactive_shifts": self.delta("reactive_shifts"),
             "reactive_rekeys": self.delta("reactive_rekeys"),
             "fault_state": fault_state,
+            "streaming_startup_delay": np.where(
+                sessions > 0, startup / safe_sessions, 0.0
+            ),
+            "streaming_rebuffer_ratio": np.where(
+                stall_and_watch > 0, rebuffer / safe_stall_watch, 0.0
+            ),
+            "streaming_quality": np.where(
+                sessions > 0, stream_quality / safe_sessions, 0.0
+            ),
+            "streaming_abandonment_rate": np.where(
+                sessions > 0, abandoned / safe_sessions, 0.0
+            ),
         }
 
     def as_dict(self) -> dict:
@@ -357,6 +403,7 @@ class MetricsTimeline:
         self._store = None
         self._rekeyer = None
         self._injector = None
+        self._streaming = None
         self._cum = None
         self._occ = None
         self._objs = None

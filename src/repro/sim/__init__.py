@@ -11,7 +11,9 @@
   three bit-identical replay paths (event calendar / fast / columnar
   event; see ``docs/architecture.md``),
 * :mod:`repro.sim.runner` — multi-run averaging and parameter sweeps,
-* :mod:`repro.sim.sharing` — the stream-sharing analyzer.
+* :mod:`repro.sim.sharing` — the stream-sharing analyzer,
+* :mod:`repro.sim.streaming` — segment-aware streaming sessions with
+  partial-object (prefix) caching and per-session QoE accounting.
 """
 
 from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
@@ -36,6 +38,12 @@ from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.runner import PolicyComparison, SweepResult, compare_policies, run_replications, sweep_cache_sizes
 from repro.sim.sharing import SharingReport, StreamSharingAnalyzer, prefix_function_for_bandwidth
 from repro.sim.simulator import REPLAY_PATHS, ProxyCacheSimulator, SimulationResult
+from repro.sim.streaming import (
+    StreamingConfig,
+    StreamingDeliveryEngine,
+    StreamingReport,
+    select_stream_ids,
+)
 
 __all__ = [
     "AuxiliarySchedule",
@@ -63,8 +71,12 @@ __all__ = [
     "SimulationMetrics",
     "SimulationResult",
     "StreamSharingAnalyzer",
+    "StreamingConfig",
+    "StreamingDeliveryEngine",
+    "StreamingReport",
     "SweepResult",
     "build_remeasurement_events",
+    "select_stream_ids",
     "compare_policies",
     "prefix_function_for_bandwidth",
     "run_replications",

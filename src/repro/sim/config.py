@@ -22,6 +22,7 @@ from repro.network.variability import BandwidthVariabilityModel, ConstantVariabi
 from repro.obs.config import ObservabilityConfig
 from repro.sim.events import RemeasurementConfig
 from repro.sim.faults import FaultConfig
+from repro.sim.streaming import StreamingConfig
 from repro.units import gb_to_kb
 
 
@@ -185,6 +186,15 @@ class SimulationConfig:
         model.  ``None`` (default) replays a fault-free network and keeps
         every replay path bit-identical to the pre-fault simulator; see
         ``docs/faults.md``.
+    streaming:
+        Optional :class:`~repro.sim.streaming.StreamingConfig` serving a
+        (deterministic) fraction of the catalog as segment-aware media
+        streams: partial prefix residency backed by
+        :class:`~repro.streaming.segmentation.SegmentedPrefix`,
+        session-position prefetch, and the wait / degrade / abandon QoE
+        model of :class:`~repro.sim.streaming.StreamingDeliveryEngine`.
+        ``None`` (default) keeps every replay path bit-identical to the
+        pre-streaming simulator; see ``docs/streaming.md``.
     observability:
         Optional :class:`~repro.obs.config.ObservabilityConfig` switching
         on the run's observability layers: the windowed metrics timeline
@@ -217,6 +227,7 @@ class SimulationConfig:
     reactive_hysteresis: Optional[float] = None
     reactive_rekey_cap: Optional[int] = None
     faults: Optional[FaultConfig] = None
+    streaming: Optional[StreamingConfig] = None
     observability: Optional[ObservabilityConfig] = None
     seed: int = 0
     verify_store: bool = False
@@ -323,6 +334,16 @@ class SimulationConfig:
         Pass ``None`` to replay a fault-free network (the default).
         """
         return replace(self, faults=faults)
+
+    def with_streaming(
+        self, streaming: Optional[StreamingConfig]
+    ) -> "SimulationConfig":
+        """Copy of this config with a different streaming-session model.
+
+        Pass ``None`` to serve every object with the plain whole-object
+        delivery arithmetic (the default).
+        """
+        return replace(self, streaming=streaming)
 
     def with_observability(
         self, observability: Optional[ObservabilityConfig]

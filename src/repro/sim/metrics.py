@@ -197,6 +197,50 @@ class MetricsCollector:
             self._retried += 1
             self._total_retries += retries
 
+    def record_streaming(
+        self,
+        object_id: int,
+        bytes_from_cache: float,
+        bytes_from_server: float,
+        delay: float,
+        quality: float,
+        value: float,
+        full_quality: bool,
+        retries: int,
+    ) -> None:
+        """Record one streaming session served by the delivery engine.
+
+        Same accumulation shape as :meth:`record_served_fault`, except
+        value accrues only for immediate *full-quality* sessions — a
+        session that degraded to fewer layers starts instantly but does
+        not earn the object's revenue (Section 2.6's full-quality
+        condition).  Used by the event-calendar replay path; the tight
+        loops inline the identical arithmetic.
+        """
+        if not self.measuring:
+            self._warmup_requests += 1
+            return
+        self._requests += 1
+        self._bytes_from_cache += bytes_from_cache
+        self._bytes_from_server += bytes_from_server
+        self._delay_sum += delay
+        self._quality_sum += quality
+        if delay <= 0.0:
+            if full_quality:
+                self._value_sum += value
+            self._immediate += 1
+        else:
+            self._delayed += 1
+            self._delay_sum_delayed += delay
+        if bytes_from_cache > 0:
+            self._hits += 1
+            self._per_object_hits[object_id] = (
+                self._per_object_hits.get(object_id, 0) + 1
+            )
+        if retries:
+            self._retried += 1
+            self._total_retries += retries
+
     def record_unserved(
         self,
         object_id: int,

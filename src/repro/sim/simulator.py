@@ -73,6 +73,7 @@ from repro.sim.faults import (
     stale_quality,
 )
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.streaming import StreamingDeliveryEngine, StreamingReport
 from repro.streaming.session import DeliverySession
 from repro.trace.columnar import ColumnarTrace
 from repro.workload.gismo import Workload
@@ -109,7 +110,10 @@ class SimulationResult:
     (episode counts, retries, stale serves, estimate recovery times) when
     the run had :attr:`~repro.sim.config.SimulationConfig.faults`
     enabled; the measurement-phase view (availability, failed / stale /
-    retried requests) lives on :attr:`metrics`.
+    retried requests) lives on :attr:`metrics`.  ``streaming_report``
+    carries the QoE accounting (startup delay, rebuffer ratio, delivered
+    quality, abandonment) when the run had
+    :attr:`~repro.sim.config.SimulationConfig.streaming` enabled.
 
     The observability fields (:mod:`repro.obs`) are populated when the
     config carries an
@@ -139,6 +143,7 @@ class SimulationResult:
     reactive_suppressed: int = 0
     reactive_rekeys_by_server: Dict[int, int] = field(default_factory=dict)
     fault_report: Optional[FaultReport] = None
+    streaming_report: Optional[StreamingReport] = None
     timeline: Optional[MetricsTimeline] = None
     profile: Optional[Dict[str, Dict[str, float]]] = None
     heap_statistics: Optional[Dict[str, int]] = None
@@ -388,6 +393,23 @@ class ProxyCacheSimulator:
         if hasattr(policy, "install"):
             policy.install(store, self.workload.catalog)
 
+        streaming: Optional[StreamingDeliveryEngine] = None
+        if self.config.streaming is not None:
+            streaming = StreamingDeliveryEngine(
+                self.config.streaming,
+                self.workload.catalog,
+                store,
+                sim_seed=self.config.seed,
+            )
+            # Heap-engine policies get the segment-aware admission /
+            # trimming hooks for the run; policies without the hooks
+            # (e.g. static allocations) still serve sessions, they just
+            # keep their own byte targets.
+            if hasattr(policy, "stream_quantize"):
+                policy.stream_quantize = streaming.admission_target
+                if self.config.streaming.prefix_caching:
+                    policy.stream_trim = streaming.trim_victim
+
         collector = MetricsCollector()
         estimator: Optional[PassiveEstimator] = None
         if self.config.bandwidth_knowledge is BandwidthKnowledge.PASSIVE:
@@ -451,7 +473,9 @@ class ProxyCacheSimulator:
             timeline = MetricsTimeline(
                 obs.window_s, trace.start_time if total_requests else 0.0
             )
-            timeline.bind(store=store, rekeyer=rekeyer, injector=injector)
+            timeline.bind(
+                store=store, rekeyer=rekeyer, injector=injector, streaming=streaming
+            )
         if sink is not None:
             if rekeyer is not None:
                 rekeyer.trace = sink
@@ -512,6 +536,7 @@ class ProxyCacheSimulator:
                     passive_rekeyer,
                     injector,
                     timeline,
+                    streaming,
                 )
             elif mode == "columnar-event":
                 self._replay_events_columnar(
@@ -528,6 +553,7 @@ class ProxyCacheSimulator:
                     passive_rekeyer,
                     injector,
                     timeline,
+                    streaming,
                 )
             else:
                 schedule.schedule_into(engine)
@@ -544,6 +570,7 @@ class ProxyCacheSimulator:
                     passive_rekeyer,
                     injector,
                     timeline,
+                    streaming,
                 )
 
             if timeline is not None:
@@ -564,6 +591,9 @@ class ProxyCacheSimulator:
                     evictions=store.evictions,
                 )
         finally:
+            if streaming is not None and hasattr(policy, "stream_quantize"):
+                policy.stream_quantize = None
+                policy.stream_trim = None
             if profiler is not None:
                 profiler.add("replay", _time.perf_counter() - replay_started)
                 profiler.detach_all()
@@ -592,6 +622,7 @@ class ProxyCacheSimulator:
                 dict(rekeyer.rekeys_by_server) if rekeyer is not None else {}
             ),
             fault_report=injector.report() if injector is not None else None,
+            streaming_report=streaming.report() if streaming is not None else None,
             timeline=timeline,
             profile=profiler.report() if profiler is not None else None,
             heap_statistics=(
@@ -657,6 +688,7 @@ class ProxyCacheSimulator:
         rekeyer: Optional[ReactiveRekeyer] = None,
         injector: Optional[FaultInjector] = None,
         timeline: Optional[MetricsTimeline] = None,
+        streaming: Optional[StreamingDeliveryEngine] = None,
     ) -> None:
         """Dispatch every request through the discrete-event engine.
 
@@ -678,8 +710,17 @@ class ProxyCacheSimulator:
         backoff wait into the service delay, and a failed fetch serves the
         cached prefix stale (or fails) without consulting the policy — an
         unreachable origin has nothing to admit.
+
+        ``streaming`` (set when the config has
+        :attr:`~repro.sim.config.SimulationConfig.streaming`) serves
+        stream-object requests as segment-aware delivery sessions through
+        the shared :class:`~repro.sim.streaming.StreamingDeliveryEngine`
+        at this same sequence point — the policy / estimator / rekeyer
+        calls that follow are untouched, which is what keeps the QoE
+        metrics bit-identical across all four replay paths.
         """
         catalog = self.workload.catalog
+        stream_ids = streaming.stream_ids if streaming is not None else None
         lm_base, lm_observed, lm_groups = (
             last_mile if last_mile is not None else (None, None, None)
         )
@@ -727,26 +768,45 @@ class ProxyCacheSimulator:
                 if disposition is not None:
                     observed_bandwidth = disposition[1]
                     origin_observed = disposition[2]
-                cached_before = store.cached_bytes(obj.object_id)
-                outcome = DeliverySession(
-                    obj, cached_before, observed_bandwidth
-                ).outcome()
-                if disposition is None:
-                    collector.record(outcome)
-                else:
-                    delay = outcome.service_delay
-                    waited = disposition[3]
-                    if waited > 0.0:
-                        delay = delay + waited
-                    collector.record_served_fault(
+                if stream_ids is not None and request.object_id in stream_ids:
+                    s_cache, s_server, s_delay, s_quality, s_full = streaming.serve(
                         obj.object_id,
-                        outcome.bytes_from_cache,
-                        outcome.bytes_from_server,
-                        delay,
-                        outcome.stream_quality,
-                        outcome.value,
-                        disposition[4],
+                        observed_bandwidth,
+                        engine.now,
+                        collector.measuring,
+                        disposition[3] if disposition is not None else 0.0,
                     )
+                    collector.record_streaming(
+                        obj.object_id,
+                        s_cache,
+                        s_server,
+                        s_delay,
+                        s_quality,
+                        obj.value,
+                        s_full,
+                        disposition[4] if disposition is not None else 0,
+                    )
+                else:
+                    cached_before = store.cached_bytes(obj.object_id)
+                    outcome = DeliverySession(
+                        obj, cached_before, observed_bandwidth
+                    ).outcome()
+                    if disposition is None:
+                        collector.record(outcome)
+                    else:
+                        delay = outcome.service_delay
+                        waited = disposition[3]
+                        if waited > 0.0:
+                            delay = delay + waited
+                        collector.record_served_fault(
+                            obj.object_id,
+                            outcome.bytes_from_cache,
+                            outcome.bytes_from_server,
+                            delay,
+                            outcome.stream_quality,
+                            outcome.value,
+                            disposition[4],
+                        )
                 policy.on_request(obj, believed_bandwidth, engine.now, store)
                 if estimator is not None:
                     estimator.observe(obj.server_id, origin_observed)
@@ -781,6 +841,12 @@ class ProxyCacheSimulator:
                     disposition[4],
                     stale,
                 )
+                if (
+                    stream_ids is not None
+                    and request.object_id in stream_ids
+                    and collector.measuring
+                ):
+                    streaming.record_failed(waited, quality)
                 # No policy.on_request: the origin is unreachable, so
                 # there is nothing to fetch or admit.  The estimator still
                 # observes the collapsed sample — that is how the reactive
@@ -843,6 +909,7 @@ class ProxyCacheSimulator:
         rekeyer: Optional[ReactiveRekeyer] = None,
         injector: Optional[FaultInjector] = None,
         timeline: Optional[MetricsTimeline] = None,
+        streaming: Optional[StreamingDeliveryEngine] = None,
     ) -> None:
         """Iterate the trace in a tight loop, bypassing the event calendar.
 
@@ -877,6 +944,7 @@ class ProxyCacheSimulator:
                     rekeyer,
                     injector,
                     timeline,
+                    streaming,
                 )
 
         ratio_array = self._predraw_ratios(topology, rng, len(trace))
@@ -904,6 +972,9 @@ class ProxyCacheSimulator:
         rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
         intercept = injector.intercept if injector is not None else None
         serve_stale = injector.serve_stale if injector is not None else False
+        stream_serve = streaming.serve if streaming is not None else None
+        stream_failed = streaming.record_failed if streaming is not None else None
+        stream_ids = streaming.stream_ids if streaming is not None else None
 
         measuring = collector.measuring
         m_requests = 0
@@ -1024,7 +1095,42 @@ class ProxyCacheSimulator:
                 if disposition is not None:
                     observed = disposition[1]
                     origin_observed = disposition[2]
-                if measuring:
+                if stream_serve is not None and object_id in stream_ids:
+                    # Segment-aware session through the shared streaming
+                    # engine; the accumulation below mirrors
+                    # MetricsCollector.record_streaming() operation-for-
+                    # operation.
+                    s_cache, s_server, s_delay, s_quality, s_full = stream_serve(
+                        object_id,
+                        observed,
+                        req_time,
+                        measuring,
+                        disposition[3] if disposition is not None else 0.0,
+                    )
+                    if measuring:
+                        m_requests += 1
+                        m_bytes_cache += s_cache
+                        m_bytes_server += s_server
+                        m_delay += s_delay
+                        m_quality += s_quality
+                        if s_delay <= 0.0:
+                            if s_full:
+                                m_value += value
+                            m_immediate += 1
+                        else:
+                            m_delayed += 1
+                            m_delay_delayed += s_delay
+                        if s_cache > 0:
+                            m_hits += 1
+                            hits_by_object[object_id] = (
+                                hits_by_object.get(object_id, 0) + 1
+                            )
+                        if disposition is not None and disposition[4]:
+                            m_retried += 1
+                            m_retries += disposition[4]
+                    else:
+                        warmup_count += 1
+                elif measuring:
                     # DeliverySession.outcome(), inlined with identical
                     # floating-point operation order.
                     if cached > size:
@@ -1093,12 +1199,14 @@ class ProxyCacheSimulator:
                     waited = disposition[3]
                     m_requests += 1
                     if stale:
+                        sq = stale_quality(cached, duration, bitrate, quantum)
                         m_bytes_cache += cached
-                        m_quality += stale_quality(cached, duration, bitrate, quantum)
+                        m_quality += sq
                         m_hits += 1
                         hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
                         m_stale += 1
                     else:
+                        sq = 0.0
                         m_failed += 1
                     m_delay += waited
                     m_delayed += 1
@@ -1106,6 +1214,8 @@ class ProxyCacheSimulator:
                     if disposition[4]:
                         m_retried += 1
                         m_retries += disposition[4]
+                    if stream_failed is not None and object_id in stream_ids:
+                        stream_failed(waited, sq)
                 else:
                     warmup_count += 1
                 if estimator_observe is not None:
@@ -1161,6 +1271,7 @@ class ProxyCacheSimulator:
         rekeyer: Optional[ReactiveRekeyer] = None,
         injector: Optional[FaultInjector] = None,
         timeline: Optional[MetricsTimeline] = None,
+        streaming: Optional[StreamingDeliveryEngine] = None,
     ) -> None:
         """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
 
@@ -1184,6 +1295,7 @@ class ProxyCacheSimulator:
             rekeyer,
             injector,
             timeline,
+            streaming,
         )
 
     # ------------------------------------------------------------------
@@ -1204,6 +1316,7 @@ class ProxyCacheSimulator:
         rekeyer: Optional[ReactiveRekeyer] = None,
         injector: Optional[FaultInjector] = None,
         timeline: Optional[MetricsTimeline] = None,
+        streaming: Optional[StreamingDeliveryEngine] = None,
     ) -> None:
         """Event-capable replay over a dense-id columnar trace.
 
@@ -1278,6 +1391,9 @@ class ProxyCacheSimulator:
         rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
         intercept = injector.intercept if injector is not None else None
         serve_stale = injector.serve_stale if injector is not None else False
+        stream_serve = streaming.serve if streaming is not None else None
+        stream_failed = streaming.record_failed if streaming is not None else None
+        stream_ids = streaming.stream_ids if streaming is not None else None
 
         aux_heap = schedule.begin()
         fire_before = schedule.fire_before
@@ -1376,7 +1492,42 @@ class ProxyCacheSimulator:
                 if disposition is not None:
                     observed = disposition[1]
                     origin_observed = disposition[2]
-                if measuring:
+                if stream_serve is not None and object_id in stream_ids:
+                    # Segment-aware session through the shared streaming
+                    # engine; the accumulation below mirrors
+                    # MetricsCollector.record_streaming() operation-for-
+                    # operation.
+                    s_cache, s_server, s_delay, s_quality, s_full = stream_serve(
+                        object_id,
+                        observed,
+                        req_time,
+                        measuring,
+                        disposition[3] if disposition is not None else 0.0,
+                    )
+                    if measuring:
+                        m_requests += 1
+                        m_bytes_cache += s_cache
+                        m_bytes_server += s_server
+                        m_delay += s_delay
+                        m_quality += s_quality
+                        if s_delay <= 0.0:
+                            if s_full:
+                                m_value += value
+                            m_immediate += 1
+                        else:
+                            m_delayed += 1
+                            m_delay_delayed += s_delay
+                        if s_cache > 0:
+                            m_hits += 1
+                            hits_by_object[object_id] = (
+                                hits_by_object.get(object_id, 0) + 1
+                            )
+                        if disposition is not None and disposition[4]:
+                            m_retried += 1
+                            m_retries += disposition[4]
+                    else:
+                        warmup_count += 1
+                elif measuring:
                     cached = store_cached(object_id)
 
                     # DeliverySession.outcome(), inlined with identical
@@ -1448,12 +1599,14 @@ class ProxyCacheSimulator:
                     waited = disposition[3]
                     m_requests += 1
                     if stale:
+                        sq = stale_quality(cached, duration, bitrate, quantum)
                         m_bytes_cache += cached
-                        m_quality += stale_quality(cached, duration, bitrate, quantum)
+                        m_quality += sq
                         m_hits += 1
                         hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
                         m_stale += 1
                     else:
+                        sq = 0.0
                         m_failed += 1
                     m_delay += waited
                     m_delayed += 1
@@ -1461,6 +1614,8 @@ class ProxyCacheSimulator:
                     if disposition[4]:
                         m_retried += 1
                         m_retries += disposition[4]
+                    if stream_failed is not None and object_id in stream_ids:
+                        stream_failed(waited, sq)
                 else:
                     warmup_count += 1
                 if estimator_observe is not None:

@@ -1,15 +1,85 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and replay-path helpers for the test suite."""
 
 from __future__ import annotations
+
+from dataclasses import replace as _replace
 
 import numpy as np
 import pytest
 
+from repro.core.policies import make_policy
 from repro.network.distributions import ConstantBandwidthDistribution
 from repro.network.topology import DeliveryTopology
 from repro.sim.config import SimulationConfig
+from repro.sim.simulator import ProxyCacheSimulator
+from repro.trace.columnar import ColumnarTrace
 from repro.workload.catalog import Catalog, MediaObject
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
+
+#: Labels of the four replay loop code paths, in reference order: the
+#: classic event calendar and the plain fast loop run on the
+#: object-per-request trace, the columnar fast and columnar event loops
+#: on the numpy-native columnar trace.
+REPLAY_PATH_LABELS = ("event", "fast", "columnar-fast", "columnar-event")
+
+
+def run_replay_paths(workload, config, policy_name="PB"):
+    """Run the same simulation once per replay loop code path.
+
+    Returns ``{label: SimulationResult}`` for the four
+    :data:`REPLAY_PATH_LABELS`.  The workload may carry either trace
+    representation; the other is derived via the lossless
+    ``ColumnarTrace`` conversions, so all four loops replay the
+    identical request stream.  Topology construction is deterministic in
+    ``config.seed``, so every run sees the same paths.
+    """
+    trace = workload.trace
+    if isinstance(trace, ColumnarTrace):
+        columnar = workload
+        plain = _replace(workload, trace=trace.to_request_trace())
+    else:
+        columnar = _replace(workload, trace=ColumnarTrace.from_request_trace(trace))
+        plain = workload
+    grid = (
+        ("event", plain, "event"),
+        ("fast", plain, "fast"),
+        ("columnar-fast", columnar, "fast"),
+        ("columnar-event", columnar, "columnar-event"),
+    )
+    return {
+        label: ProxyCacheSimulator(wl, config).run(
+            make_policy(policy_name), replay=replay
+        )
+        for label, wl, replay in grid
+    }
+
+
+def assert_replay_paths_identical(workload, config, policy_name="PB"):
+    """Assert all four replay paths are bit-identical; return the results.
+
+    Metrics must match exactly; when the reference run carries a
+    timeline, fault report, or streaming report, those must match across
+    the paths too (fault reports via ``approx`` for NaN-valued recovery
+    fields).  Returns the ``{label: SimulationResult}`` dict so callers
+    can make further assertions on any path's result.
+    """
+    results = run_replay_paths(workload, config, policy_name)
+    reference = results["event"]
+    for label, result in results.items():
+        assert result.metrics == reference.metrics, (policy_name, label)
+        assert result.as_dict() == reference.as_dict(), (policy_name, label)
+        if reference.timeline is not None:
+            assert result.timeline == reference.timeline, (policy_name, label)
+        if reference.fault_report is not None:
+            assert result.fault_report.as_dict() == pytest.approx(
+                reference.fault_report.as_dict(), nan_ok=True
+            ), (policy_name, label)
+        if reference.streaming_report is not None:
+            assert result.streaming_report == reference.streaming_report, (
+                policy_name,
+                label,
+            )
+    return results
 
 
 @pytest.fixture

@@ -133,3 +133,48 @@ class TestCLI:
     def test_unknown_policy_fails_cleanly(self):
         with pytest.raises(Exception):
             main(["run", "--policy", "BOGUS", "--scale", "0.01"])
+
+    def test_run_command_with_streaming_prints_qoe(self, capsys):
+        exit_code = main(
+            [
+                "run", "--policy", "PB", "--cache-gb", "0.2",
+                "--scale", "0.01", "--seed", "1",
+                "--streaming-fraction", "1.0", "--streaming-prefetch", "2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "streaming:" in captured and "prefix caching" in captured
+        assert "streaming QoE:" in captured
+        assert "average_stream_quality" in captured
+
+    def test_run_command_streaming_whole_object_mode(self, capsys):
+        exit_code = main(
+            [
+                "run", "--policy", "PB", "--cache-gb", "0.2",
+                "--scale", "0.01", "--seed", "1",
+                "--streaming-fraction", "1.0", "--streaming-whole-object",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "whole-object caching" in captured
+
+    def test_streaming_whole_object_requires_fraction(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run", "--policy", "PB", "--scale", "0.01",
+                    "--streaming-whole-object",
+                ]
+            )
+
+    def test_experiment_command_streaming(self, capsys):
+        exit_code = main(
+            ["experiment", "streaming", "--scale", "0.01", "--runs", "1"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "prefix / static" in captured
+        assert "whole-object / reactive-passive" in captured
+        assert "QoE[PB]" in captured

@@ -43,6 +43,7 @@ def test_required_documents_exist():
         "docs/faults.md",
         "docs/observability.md",
         "docs/performance.md",
+        "docs/streaming.md",
         "docs/traces.md",
     ):
         assert (REPO_ROOT / relative).exists(), f"missing {relative}"
@@ -95,11 +96,21 @@ def test_observability_example_runs_as_is(check_docs):
     assert "heap:" in output
 
 
+def test_streaming_example_runs_as_is(check_docs):
+    snippet = check_docs.extract_python_block(REPO_ROOT / "docs" / "streaming.md")
+    assert snippet is not None, "docs/streaming.md lost its ```python example"
+    code, output = check_docs.run_snippet(snippet)
+    assert code == 0, f"docs/streaming.md example failed:\n{output}"
+    # The example compares prefix caching against the whole-object ablation.
+    assert "prefix" in output and "whole-object" in output
+
+
 def test_executable_snippet_registry_covers_clients_page(check_docs):
     assert "docs/clients.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "README.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "docs/events.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "docs/observability.md" in check_docs.EXECUTABLE_SNIPPETS
+    assert "docs/streaming.md" in check_docs.EXECUTABLE_SNIPPETS
 
 
 def test_link_checker_flags_broken_links(check_docs, tmp_path):
@@ -115,11 +126,18 @@ def test_link_checker_flags_broken_links(check_docs, tmp_path):
 
 
 # ----------------------------------------------------------------------
-# Docstring pass: repro.trace, repro.sim, repro.network, and repro.obs
-# are help()-complete (repro.network joined with the client-cloud API,
-# repro.obs with the observability subsystem).
+# Docstring pass: repro.trace, repro.sim, repro.network, repro.obs, and
+# repro.streaming are help()-complete (repro.network joined with the
+# client-cloud API, repro.obs with the observability subsystem,
+# repro.streaming with the segment-aware session model).
 # ----------------------------------------------------------------------
-DOCUMENTED_PACKAGES = ("repro.trace", "repro.sim", "repro.network", "repro.obs")
+DOCUMENTED_PACKAGES = (
+    "repro.trace",
+    "repro.sim",
+    "repro.network",
+    "repro.obs",
+    "repro.streaming",
+)
 
 
 def _exported_symbols(package_name):

@@ -48,6 +48,8 @@ from repro.sim.faults import FaultConfig
 from repro.sim.simulator import ProxyCacheSimulator
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 
+from conftest import run_replay_paths
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Timeline window width used throughout: a handful of windows over the
@@ -81,25 +83,11 @@ def _rich_config(**overrides):
     return SimulationConfig(**base)
 
 
-#: (workload key, replay argument) per replay path.
-PATHS = (
-    ("object", "event"),
-    ("object", "fast"),
-    ("columnar", "fast"),
-    ("columnar", "columnar-event"),
-)
-
-
 @pytest.fixture(scope="module")
 def path_results(workloads):
     """One observed run per replay path under the rich configuration."""
     config = _rich_config(observability=ObservabilityConfig(window_s=WINDOW_S))
-    results = {}
-    for workload_key, replay in PATHS:
-        results[(workload_key, replay)] = ProxyCacheSimulator(
-            workloads[workload_key], config
-        ).run(make_policy("PB"), replay=replay)
-    return results
+    return run_replay_paths(workloads["columnar"], config)
 
 
 # ----------------------------------------------------------------------
@@ -107,19 +95,19 @@ def path_results(workloads):
 # ----------------------------------------------------------------------
 class TestTimelineAcrossPaths:
     def test_metrics_identical_across_paths(self, path_results):
-        reference = path_results[("object", "event")]
+        reference = path_results["event"]
         for key, result in path_results.items():
             assert result.metrics.as_dict() == reference.metrics.as_dict(), key
 
     def test_timelines_identical_across_paths(self, path_results):
-        reference = path_results[("object", "event")].timeline
+        reference = path_results["event"].timeline
         assert reference is not None and reference.finished
         assert reference.num_windows > 2
         for key, result in path_results.items():
             assert result.timeline == reference, key
 
     def test_series_identical_across_paths(self, path_results):
-        reference = path_results[("object", "event")].timeline.series()
+        reference = path_results["event"].timeline.series()
         for key, result in path_results.items():
             series = result.timeline.series()
             assert set(series) == set(reference)
@@ -129,12 +117,12 @@ class TestTimelineAcrossPaths:
                 )
 
     def test_fault_and_reactive_windows_present(self, path_results):
-        series = path_results[("object", "event")].timeline.series()
+        series = path_results["event"].timeline.series()
         assert int(series["fault_state"].max()) >= 1
         assert int(series["reactive_rekeys"].sum()) > 0
 
     def test_totals_are_the_aggregates(self, path_results):
-        result = path_results[("columnar", "fast")]
+        result = path_results["columnar-fast"]
         totals = result.timeline.totals()
         metrics = result.metrics
         assert totals["requests"] == metrics.requests
@@ -153,7 +141,7 @@ class TestTimelineAcrossPaths:
         assert totals["hits"] / totals["requests"] == metrics.hit_ratio
 
     def test_integer_deltas_sum_exactly(self, path_results):
-        timeline = path_results[("columnar", "columnar-event")].timeline
+        timeline = path_results["columnar-event"].timeline
         totals = timeline.totals()
         for field in sorted(_INTEGER_FIELDS):
             deltas = timeline.delta(field)
@@ -161,13 +149,13 @@ class TestTimelineAcrossPaths:
             assert int(deltas.sum()) == totals[field], field
 
     def test_cumulative_ends_at_totals(self, path_results):
-        timeline = path_results[("columnar", "fast")].timeline
+        timeline = path_results["columnar-fast"].timeline
         totals = timeline.totals()
         for field in CUMULATIVE_FIELDS:
             assert timeline.cumulative(field)[-1] == totals[field], field
 
     def test_window_grid_consistent(self, path_results):
-        timeline = path_results[("object", "fast")].timeline
+        timeline = path_results["fast"].timeline
         starts = timeline.window_starts()
         assert len(starts) == timeline.num_windows
         assert starts[0] == timeline.start_time
@@ -176,7 +164,7 @@ class TestTimelineAcrossPaths:
             assert len(values) == timeline.num_windows, name
 
     def test_as_dict_schema(self, path_results):
-        payload = path_results[("object", "event")].timeline.as_dict()
+        payload = path_results["event"].timeline.as_dict()
         assert payload["schema"] == 1
         assert payload["num_windows"] == len(payload["window_starts"])
         for values in payload["series"].values():
@@ -184,7 +172,7 @@ class TestTimelineAcrossPaths:
         assert payload["totals"]["requests"] == sum(payload["series"]["requests"])
 
     def test_pickle_round_trip_preserves_value(self, path_results):
-        timeline = path_results[("columnar", "fast")].timeline
+        timeline = path_results["columnar-fast"].timeline
         clone = pickle.loads(pickle.dumps(timeline))
         assert clone == timeline
         assert clone.as_dict() == timeline.as_dict()

@@ -30,6 +30,9 @@ class TestTopLevelExports:
             "CacheStore",
             "make_policy",
             "optimal_allocation",
+            "StreamingConfig",
+            "StreamingReport",
+            "SegmentedPrefix",
         ):
             assert hasattr(repro, name)
 

@@ -40,6 +40,8 @@ from repro.sim.simulator import ProxyCacheSimulator
 from repro.trace.ingest import ingest_access_log
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 
+from conftest import assert_replay_paths_identical, run_replay_paths
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SAMPLE_SQUID = REPO_ROOT / "examples" / "data" / "sample_squid.log"
 
@@ -59,13 +61,6 @@ def _config(**overrides):
     return SimulationConfig(**defaults)
 
 
-def _run_all_paths(workload, config, policy_name="PB"):
-    simulator = ProxyCacheSimulator(workload, config)
-    topology = simulator.build_topology(np.random.default_rng(config.seed))
-    return {
-        mode: simulator.run(make_policy(policy_name), topology=topology, replay=mode)
-        for mode in ("event", "fast", "columnar-event")
-    }
 
 
 # ----------------------------------------------------------------------
@@ -183,28 +178,22 @@ def test_heterogeneous_cloud_bit_identical_across_paths(client_workload, policy_
     config = _config().with_client_clouds(
         ClientCloudConfig(groups=8, distribution=NLANRBandwidthDistribution())
     )
-    results = _run_all_paths(client_workload, config, policy_name)
-    reference = results["event"].as_dict()
-    for mode, result in results.items():
-        assert result.as_dict() == reference, (policy_name, mode)
+    assert_replay_paths_identical(client_workload, config, policy_name)
 
 
 def test_heterogeneous_cloud_on_object_trace_agrees(client_workload):
-    """The non-columnar loops resolve client ids from Request objects."""
-    object_workload = replace(
-        client_workload, trace=client_workload.trace.to_request_trace()
-    )
+    """The non-columnar loops resolve client ids from Request objects.
+
+    ``run_replay_paths`` derives the object-per-request trace from the
+    columnar one, so the identity assertion covers both the in-loop
+    client-id resolution styles and the trace conversion itself.
+    """
     config = _config().with_client_clouds(
         ClientCloudConfig(groups=8, distribution=NLANRBandwidthDistribution())
     )
-    simulator = ProxyCacheSimulator(object_workload, config)
-    topology = simulator.build_topology(np.random.default_rng(config.seed))
-    event = simulator.run(make_policy("PB"), topology=topology, replay="event")
-    fast = simulator.run(make_policy("PB"), topology=topology, replay="fast")
-    assert event.as_dict() == fast.as_dict()
-    # ... and the object trace agrees with the columnar one.
-    columnar = _run_all_paths(client_workload, config)["fast"]
-    assert fast.as_dict() == columnar.as_dict()
+    results = assert_replay_paths_identical(client_workload, config)
+    assert results["fast"].replay_path == "fast"
+    assert results["columnar-fast"].used_fast_path
 
 
 def test_binding_cloud_changes_outcomes_and_monotonically_hurts(client_workload):
@@ -374,9 +363,8 @@ def test_ingested_log_heterogeneity_end_to_end():
         ),
         seed=5,
     )
-    results = _run_all_paths(workload, config)
+    results = assert_replay_paths_identical(workload, config)
     reference = results["event"].as_dict()
-    assert all(result.as_dict() == reference for result in results.values())
     # The same pipeline without the clouds differs: heterogeneity binds.
     plain = ProxyCacheSimulator(workload, config.with_client_clouds(None)).run(
         make_policy("PB")

@@ -35,6 +35,8 @@ from repro.sim.simulator import ProxyCacheSimulator
 from repro.trace.columnar import ColumnarTrace
 from repro.workload.gismo import GismoWorkloadGenerator, Workload, WorkloadConfig
 
+from conftest import assert_replay_paths_identical
+
 
 @pytest.fixture(scope="module")
 def columnar_workload():
@@ -61,20 +63,13 @@ def test_columnar_event_path_bit_identical_per_policy(columnar_workload, policy_
     config = SimulationConfig(
         cache_size_gb=0.5, variability=NLANRRatioVariability(), seed=11
     )
-    simulator = ProxyCacheSimulator(columnar_workload, config)
-    topology = simulator.build_topology(np.random.default_rng(config.seed))
-
-    event = simulator.run(make_policy(policy_name), topology=topology, replay="event")
-    fast = simulator.run(make_policy(policy_name), topology=topology, replay="fast")
-    colev = simulator.run(
-        make_policy(policy_name), topology=topology, replay="columnar-event"
+    results = assert_replay_paths_identical(
+        columnar_workload, config, policy_name
     )
-
+    colev = results["columnar-event"]
     assert colev.replay_path == "columnar-event"
     assert not colev.used_fast_path
     assert colev.auxiliary_events_fired == 0
-    assert colev.as_dict() == event.as_dict() == fast.as_dict()
-    assert colev.metrics == event.metrics
 
 
 def test_auto_prefers_fast_without_events_and_columnar_event_with(columnar_workload):

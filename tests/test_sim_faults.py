@@ -35,10 +35,10 @@ from repro.sim.faults import (
     FaultSchedule,
     stale_quality,
 )
-from repro.sim.simulator import REPLAY_PATHS, ProxyCacheSimulator
+from repro.sim.simulator import ProxyCacheSimulator
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 
-REPLAY_MODES = ("event", "fast", "columnar-event")
+from conftest import assert_replay_paths_identical, run_replay_paths
 
 
 @pytest.fixture(scope="module")
@@ -287,11 +287,10 @@ class TestInjector:
 class TestReplayIdentity:
     def test_faults_none_identical_to_default_config(self, workload):
         """``faults=None`` must replay exactly like a pre-fault config."""
-        explicit = _passive_config(faults=None)
-        default = _passive_config()
-        for mode in REPLAY_MODES:
-            a = _run(workload, explicit, mode)
-            b = _run(workload, default, mode)
+        explicit = run_replay_paths(workload, _passive_config(faults=None))
+        default = run_replay_paths(workload, _passive_config())
+        for label, a in explicit.items():
+            b = default[label]
             assert a.metrics == b.metrics
             assert a.fault_report is None
             assert a.metrics.availability == 1.0
@@ -302,17 +301,12 @@ class TestReplayIdentity:
         self, workload, outage_schedule, policy_name
     ):
         config = _passive_config(faults=FaultConfig(episodes=outage_schedule))
-        results = [
-            _run(workload, config, mode, policy=policy_name)
-            for mode in REPLAY_MODES
-        ]
-        results.append(_run(workload, config, None, policy=policy_name))
-        reference = results[0]
-        for result in results[1:]:
-            assert result.metrics == reference.metrics
-        reports = [result.fault_report.as_dict() for result in results]
-        for report in reports[1:]:
-            assert report == pytest.approx(reports[0], nan_ok=True)
+        results = assert_replay_paths_identical(workload, config, policy_name)
+        auto = _run(workload, config, None, policy=policy_name)
+        assert auto.metrics == results["event"].metrics
+        assert auto.fault_report.as_dict() == pytest.approx(
+            results["event"].fault_report.as_dict(), nan_ok=True
+        )
 
     def test_all_paths_identical_with_stochastic_faults(self, workload):
         config = _passive_config(
@@ -324,10 +318,8 @@ class TestReplayIdentity:
                 seed=7,
             )
         )
-        results = [_run(workload, config, mode) for mode in REPLAY_MODES]
-        for result in results[1:]:
-            assert result.metrics == results[0].metrics
-        assert results[0].fault_report.episodes == 5
+        results = assert_replay_paths_identical(workload, config)
+        assert results["event"].fault_report.episodes == 5
 
     def test_all_paths_identical_with_link_faults_and_reactive(self, workload):
         outage = FaultEpisode("link-down", 2000.0, 3000.0, group_id=1)
@@ -340,10 +332,10 @@ class TestReplayIdentity:
             reactive_hysteresis=0.05,
             faults=FaultConfig(episodes=(outage,)),
         )
-        results = [_run(workload, config, mode) for mode in REPLAY_MODES]
-        for result in results[1:]:
-            assert result.metrics == results[0].metrics
-            assert result.reactive_shifts == results[0].reactive_shifts
+        results = assert_replay_paths_identical(workload, config)
+        reference = results["event"]
+        for result in results.values():
+            assert result.reactive_shifts == reference.reactive_shifts
 
 
 # ----------------------------------------------------------------------
@@ -506,10 +498,8 @@ class TestFaultStorms:
             reactive_rekey_cap=cap,
             faults=FaultConfig(episodes=episodes),
         )
-        results = [_run(workload, config, mode) for mode in REPLAY_MODES]
-        for result in results[1:]:
-            assert result.metrics == results[0].metrics
-        result = results[0]
+        results = assert_replay_paths_identical(workload, config)
+        result = results["event"]
         assert result.fault_report.failed_fetches > 0
         server_count = len(workload.catalog.server_ids())
         assert result.reactive_shifts <= cap * server_count

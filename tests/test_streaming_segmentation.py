@@ -99,3 +99,102 @@ class TestSegmentedPrefix:
             prefix.grow_to(-1.0)
         with pytest.raises(ConfigurationError):
             prefix.trim_to(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Randomized property tests (seeded; hypothesis shrinks on failure)
+# ----------------------------------------------------------------------
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+# Keep size/base ratios small enough that uniform layouts stay at a few
+# hundred segments per object — grow_to/trim_to walk segment by segment,
+# so unbounded ratios turn each example quadratic.
+_sizes = st.floats(min_value=1.0, max_value=32_768.0, allow_nan=False)
+_bases = st.floats(min_value=256.0, max_value=4096.0, allow_nan=False)
+_targets = st.floats(min_value=0.0, max_value=65_536.0, allow_nan=False)
+
+
+class TestSegmentedPrefixProperties:
+    @given(size=_sizes, base=_bases, exponential=st.booleans(), target=_targets)
+    @settings(max_examples=200, deadline=None)
+    def test_grow_to_meets_target_at_segment_granularity(
+        self, size, base, exponential, target
+    ):
+        prefix = SegmentedPrefix(size, SegmentationScheme(base, exponential))
+        cached = prefix.grow_to(target)
+        # Residency never exceeds the object and is exactly the resident
+        # segment total.
+        assert 0.0 <= cached <= size + 1e-6
+        assert cached == sum(s.size for s in prefix.resident_segments)
+        # The target is met whenever it fits inside the object.
+        if target <= size:
+            assert cached >= target - 1e-6
+        # Overshoot is bounded by the last admitted segment.
+        if prefix.resident_segments:
+            last = prefix.resident_segments[-1]
+            assert cached - min(target, size) <= last.size + 1e-6
+        # grow_to is idempotent at its own result.
+        assert prefix.grow_to(target) == cached
+
+    @given(size=_sizes, base=_bases, exponential=st.booleans(), target=_targets)
+    @settings(max_examples=200, deadline=None)
+    def test_trim_to_respects_target_at_segment_granularity(
+        self, size, base, exponential, target
+    ):
+        prefix = SegmentedPrefix(size, SegmentationScheme(base, exponential))
+        prefix.grow_to(size)
+        remaining = prefix.trim_to(target)
+        assert 0.0 <= remaining <= target + 1e-6 or remaining == 0.0
+        assert remaining == sum(s.size for s in prefix.resident_segments)
+        # trim_to is idempotent at its own result.
+        assert prefix.trim_to(target) == remaining
+        # Nothing more could have been kept: admitting one more segment
+        # would break the target.
+        total = prefix.total_segments
+        if len(prefix.resident_segments) < total:
+            next_seg = prefix.grow_to(remaining + 1e-9)
+            if next_seg > remaining:
+                assert next_seg > target
+
+    @given(
+        size=_sizes,
+        base=_bases,
+        exponential=st.booleans(),
+        targets=st.lists(_targets, min_size=1, max_size=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_interleaved_grow_trim_keeps_prefix_invariant(
+        self, size, base, exponential, targets
+    ):
+        prefix = SegmentedPrefix(size, SegmentationScheme(base, exponential))
+        for i, target in enumerate(targets):
+            cached = prefix.grow_to(target) if i % 2 == 0 else prefix.trim_to(target)
+            resident = prefix.resident_segments
+            assert cached == sum(s.size for s in resident)
+            # Resident segments are always the leading segments, contiguous
+            # from offset zero — the prefix invariant.
+            for j, segment in enumerate(resident):
+                assert segment.index == j
+            if resident:
+                assert resident[0].start == 0.0
+                for prev, nxt in zip(resident, resident[1:]):
+                    assert prev.end == nxt.start
+            # missing_ranges is the exact complement of the prefix.
+            missing = prefix.missing_ranges()
+            if cached >= size:
+                assert missing == []
+            else:
+                assert missing == [(cached, size)]
+
+    @given(size=_sizes, base=_bases, exponential=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_segments_tile_the_object_exactly(self, size, base, exponential):
+        segments = SegmentationScheme(base, exponential).segments(size)
+        assert segments[0].start == 0.0
+        assert segments[-1].end == size
+        for prev, nxt in zip(segments, segments[1:]):
+            assert prev.end == nxt.start
+            if exponential:
+                # Sizes double except for the final (clipped) segment.
+                assert nxt.size <= 2.0 * prev.size + 1e-9
