@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check faults-smoke obs-smoke streaming-smoke
+.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check faults-smoke obs-smoke streaming-smoke hierarchy-smoke
 
 ## Tier-1 verification: the full test + benchmark suite.
 test:
@@ -63,3 +63,12 @@ streaming-smoke:
 	$(PYTHON) -m pytest -q tests/test_sim_streaming.py tests/test_streaming_segmentation.py
 	$(PYTHON) -m repro run --policy PB --scale 0.05 --knowledge passive \
 		--client-clouds 8 --streaming-fraction 1.0 --streaming-prefetch 2
+
+## Hierarchy smoke: the hierarchy test suite (tier-chain semantics,
+## replay-path bit-identity with the fleet on, the golden ablation
+## fixture, sharded-replay determinism) plus one sharded 2-tier CLI
+## replay that prints the per-tier report end-to-end (docs/hierarchy.md).
+hierarchy-smoke:
+	$(PYTHON) -m pytest -q tests/test_sim_hierarchy.py
+	$(PYTHON) -m repro run --policy PB --scale 0.05 --pops 4 --tiers 2 \
+		--tier-cache-kb 100000,400000 --tier-uplink 50,40 --shards 4

@@ -20,9 +20,12 @@ request as a segment-aware delivery session against the same replay with
 streaming disabled (``docs/streaming.md``), an ``observability`` section
 the cost of a
 configured-but-disabled and of a timeline-enabled run against the bare
-replay (``docs/observability.md``), and a ``dispatch`` section the
+replay (``docs/observability.md``), a ``dispatch`` section the
 parallel-dispatch overhead of shipping the workload to worker processes
-via shared memory versus pickling.  That file is the
+via shared memory versus pickling, and a ``hierarchy`` section the cost
+of routing every request through a 2-tier pop fleet plus the wall-clock
+speedup of sharding the fleet replay across worker processes
+(``docs/hierarchy.md``).  That file is the
 repo's performance trajectory: the ``smoke`` section it records is the
 baseline the quick regression gate (:func:`test_throughput_smoke_regression`,
 ``make bench-smoke``) compares against.
@@ -41,7 +44,11 @@ import numpy as np
 import pytest
 
 from repro.analysis.experiments import build_workload
-from repro.analysis.parallel import replication_jobs, run_simulation_jobs
+from repro.analysis.parallel import (
+    replication_jobs,
+    run_sharded_fleet,
+    run_simulation_jobs,
+)
 from repro.core.policies import PolicySpec, make_policy
 from repro.network.distributions import NLANRBandwidthDistribution
 from repro.network.variability import NLANRRatioVariability
@@ -49,6 +56,7 @@ from repro.obs import ObservabilityConfig
 from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.events import RemeasurementConfig
 from repro.sim.faults import FaultConfig
+from repro.sim.hierarchy import CacheTier, HierarchyConfig
 from repro.sim.simulator import ProxyCacheSimulator
 from repro.sim.streaming import StreamingConfig
 
@@ -87,6 +95,16 @@ CLIENT_GROUPS = 64
 #: accounting, not the (workload-dependent) retry arithmetic.
 FAULT_FLAPS = 8
 FAULT_SEVERITY = 0.5
+
+#: Shards and workers of the sharded-fleet-replay section.
+FLEET_SHARDS = 4
+FLEET_WORKERS = 2
+
+#: Fleet shape of the hierarchy-overhead section: a 2-tier, 4-pop fleet
+#: whose edge matches the baseline cache and whose parent is 4x it.
+HIER_POPS = 4
+HIER_EDGE_KB = BENCH_CACHE_GB * 1e6
+HIER_PARENT_KB = 4.0 * HIER_EDGE_KB
 
 
 def _build_simulator(scale: float, columnar: bool = False):
@@ -526,6 +544,92 @@ def test_throughput_full_200k():
     pickle_seconds = dispatch_seconds["pickle"]
     assert dispatch_results["shm"] == dispatch_results["pickle"]
 
+    # Hierarchy overhead: the same multi-client columnar replay routed
+    # through a 2-tier, 4-pop fleet vs hierarchy disabled.  With
+    # hierarchy=None the loops skip the engine entirely (one `is not
+    # None` test per request); with it on, every request pays the per-pop
+    # residency reads, the uplink-chain bandwidth composition, and one
+    # policy notification per consulted tier — interpreter work layered
+    # on the numpy-bound columnar loop (docs/hierarchy.md).
+    hier_config = SimulationConfig(
+        cache_size_gb=BENCH_CACHE_GB,
+        variability=NLANRRatioVariability(),
+        hierarchy=HierarchyConfig(
+            tiers=(
+                CacheTier(name="edge", cache_kb=HIER_EDGE_KB, uplink_bandwidth=50.0),
+                CacheTier(
+                    name="parent", cache_kb=HIER_PARENT_KB, uplink_bandwidth=40.0
+                ),
+            ),
+            num_pops=HIER_POPS,
+        ),
+        seed=BENCH_SEED,
+    )
+    hier_simulator = ProxyCacheSimulator(hetero_workload, hier_config)
+    hier_topology = hier_simulator.build_topology(np.random.default_rng(BENCH_SEED))
+    hier_result, _, _ = _timed_run(hier_simulator, hier_topology, use_fast_path=True)
+    assert hier_result.hierarchy_report is not None
+    assert hier_result.hierarchy_report.requests > 0
+    hier_best, hier_ratio = _paired_measurement(
+        [
+            ("baseline", plain_simulator, plain_topology),
+            ("hierarchy", hier_simulator, hier_topology),
+        ],
+        rounds=3,
+    )
+    hier_overhead = hier_ratio("hierarchy", "baseline")
+    hier_rps = requests / hier_best["hierarchy"]
+    # Per-request fleet work is a handful of dict probes and compares, but
+    # it runs in the interpreter against a ~microsecond columnar baseline,
+    # so the honest ratio is several-x (the same shape as the streaming
+    # engine).  Anything past 10x means the engine regressed to per-byte
+    # or per-store scans inside the loop; the committed trajectory ratio
+    # in BENCH_perf.json (gated by scripts/check_bench.py) catches creep
+    # below that cliff.
+    assert hier_overhead <= 10.0, (
+        f"2-tier fleet replay costs {hier_overhead:.2f}x the single-cache "
+        f"baseline ({hier_rps:,.0f} vs "
+        f"{requests / hier_best['baseline']:,.0f} req/s)"
+    )
+
+    # Sharded fleet replay: partition the trace by client group and replay
+    # the shards in worker processes vs the same shards in-process.  The
+    # merged results must be identical; only the wall clock may differ,
+    # and the speedup is machine-bound (worker spawn + per-shard topology
+    # build amortised over the shard replays).
+    shard_workload = build_workload(
+        scale=SMOKE_SCALE, seed=BENCH_SEED, columnar=True, num_clients=CLIENT_COUNT
+    )
+    fleet_seconds = {"serial": None, "pooled": None}
+    fleet_results = {}
+    for round_index in range(2):
+        order = (
+            ("serial", 1), ("pooled", FLEET_WORKERS)
+        ) if round_index % 2 == 0 else (
+            ("pooled", FLEET_WORKERS), ("serial", 1)
+        )
+        for label, n_jobs in order:
+            start = time.perf_counter()
+            fleet_results[label] = run_sharded_fleet(
+                shard_workload,
+                hier_config,
+                PolicySpec(BENCH_POLICY),
+                num_shards=FLEET_SHARDS,
+                n_jobs=n_jobs,
+            )
+            elapsed = time.perf_counter() - start
+            if fleet_seconds[label] is None or elapsed < fleet_seconds[label]:
+                fleet_seconds[label] = elapsed
+    assert (
+        fleet_results["serial"].merged.metrics
+        == fleet_results["pooled"].merged.metrics
+    )
+    assert (
+        fleet_results["serial"].merged.hierarchy_report
+        == fleet_results["pooled"].merged.hierarchy_report
+    )
+    sharded_speedup = fleet_seconds["serial"] / fleet_seconds["pooled"]
+
     # Smoke-sized fast-path run, measured here so the regression gate always
     # compares smoke against smoke.  Best-of-2 keeps a transient load spike
     # from being committed as the gate's baseline.
@@ -621,6 +725,21 @@ def test_throughput_full_200k():
                     "shm_seconds": round(shm_seconds, 3),
                     "pickle_seconds": round(pickle_seconds, 3),
                     "shm_vs_pickle_ratio": round(shm_seconds / pickle_seconds, 3),
+                },
+                "hierarchy": {
+                    "tiers": 2,
+                    "pops": HIER_POPS,
+                    "requests_per_sec": round(hier_rps, 1),
+                    "baseline_requests_per_sec": round(
+                        requests / hier_best["baseline"], 1
+                    ),
+                    "overhead_ratio_vs_baseline": round(hier_overhead, 3),
+                    "shard_requests": len(shard_workload.trace),
+                    "shards": FLEET_SHARDS,
+                    "shard_workers": FLEET_WORKERS,
+                    "serial_seconds": round(fleet_seconds["serial"], 3),
+                    "pooled_seconds": round(fleet_seconds["pooled"], 3),
+                    "sharded_speedup_vs_serial": round(sharded_speedup, 3),
                 },
                 "smoke": {
                     "requests": len(smoke_workload.trace),

@@ -71,6 +71,16 @@ RATIO_KEYS: Dict[str, tuple] = {
     # share (session arithmetic + segment-boundary sync per request), so
     # the band is wider still.
     "streaming.overhead_ratio_vs_baseline": ("lower", 0.50),
+    # The hierarchy engine is the same shape as the streaming engine:
+    # per-request interpreter work (residency reads, uplink-chain caps,
+    # per-tier policy calls) on the numpy-bound columnar baseline, so the
+    # ratio moves with the machine's interpreter profile, not the code.
+    "hierarchy.overhead_ratio_vs_baseline": ("lower", 0.50),
+    # Serial vs pooled shard replay compares in-process loops against
+    # process spawn + per-worker imports — the dispatch argument, but
+    # with the whole speedup (not just transport) exposed to the machine
+    # profile: a 1-core runner can legitimately land below 1.0.
+    "hierarchy.sharded_speedup_vs_serial": ("higher", 0.50),
     # Disabled observability is the same dead branch on both sides, so the
     # true ratio is 1.0 and the measurement is pure timer noise — same
     # flake argument as the faults ratio above.

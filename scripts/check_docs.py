@@ -12,8 +12,9 @@ library form, by ``tests/test_docs.py``):
   in :data:`EXECUTABLE_SNIPPETS` (the README quickstart, the
   ``docs/clients.md`` worked example, the ``docs/events.md``
   re-measurement + reactive example, the ``docs/faults.md`` fault
-  injection example, the ``docs/observability.md`` timeline example, and
-  the ``docs/streaming.md`` prefix-vs-whole ablation example)
+  injection example, the ``docs/hierarchy.md`` two-tier example, the
+  ``docs/observability.md`` timeline example, and the
+  ``docs/streaming.md`` prefix-vs-whole ablation example)
   must run as-is (with ``src/`` on ``PYTHONPATH``), so the code a reader
   copies cannot be stale.
 
@@ -46,6 +47,7 @@ EXECUTABLE_SNIPPETS = (
     "docs/clients.md",
     "docs/events.md",
     "docs/faults.md",
+    "docs/hierarchy.md",
     "docs/observability.md",
     "docs/streaming.md",
 )

@@ -63,9 +63,12 @@ from repro.network import (
 from repro.obs import MetricsTimeline, ObservabilityConfig
 from repro.sim import (
     BandwidthKnowledge,
+    CacheTier,
     ClientCloudConfig,
     FaultConfig,
     FaultEpisode,
+    HierarchyConfig,
+    HierarchyReport,
     ProxyCacheSimulator,
     RemeasurementConfig,
     SimulationConfig,
@@ -95,6 +98,7 @@ __all__ = [
     "BandwidthKnowledge",
     "CachePolicy",
     "CacheStore",
+    "CacheTier",
     "CapacityError",
     "Catalog",
     "ClientCloudConfig",
@@ -106,6 +110,8 @@ __all__ = [
     "FaultEpisode",
     "FrequencyTracker",
     "GismoWorkloadGenerator",
+    "HierarchyConfig",
+    "HierarchyReport",
     "HybridPartialBandwidthPolicy",
     "IntegralBandwidthPolicy",
     "IntegralBandwidthValuePolicy",

@@ -43,15 +43,16 @@ import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.sim.config import SimulationConfig
-from repro.sim.metrics import SimulationMetrics
-from repro.sim.simulator import ProxyCacheSimulator
+from repro.sim.hierarchy import HierarchyReport
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.simulator import ProxyCacheSimulator, SimulationResult
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.shm import (
     SharedTraceDescriptor,
@@ -150,28 +151,33 @@ _RETRY_BACKOFF_S = 0.5
 
 
 def _run_pool(
-    jobs: Sequence[SimulationJob],
+    jobs: Sequence[object],
     workers: int,
     initializer: Callable,
     initargs: tuple,
-) -> Tuple[Dict[int, SimulationMetrics], List[int]]:
+    execute: Callable = _execute_job,
+) -> Tuple[Dict[int, object], List[int]]:
     """Run jobs on one process pool, absorbing worker-crash failures.
 
-    Returns ``(results_by_index, crashed_indices)``.  A crashed worker
-    breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`
-    (every in-flight future fails with :class:`BrokenProcessPool`), so the
-    crashed indices are collected for the caller to retry instead of
-    aborting the sweep.  Ordinary exceptions raised *by a job* (a
-    misconfigured simulation, say) propagate unchanged — those are
-    deterministic and retrying cannot fix them.
+    ``execute`` is the module-level function each job is submitted
+    through (:func:`_execute_job` for metric sweeps,
+    :func:`_execute_fleet_shard` for sharded fleet replay — it must be
+    picklable).  Returns ``(results_by_index, crashed_indices)``.  A
+    crashed worker breaks the whole
+    :class:`~concurrent.futures.ProcessPoolExecutor` (every in-flight
+    future fails with :class:`BrokenProcessPool`), so the crashed indices
+    are collected for the caller to retry instead of aborting the sweep.
+    Ordinary exceptions raised *by a job* (a misconfigured simulation,
+    say) propagate unchanged — those are deterministic and retrying
+    cannot fix them.
     """
-    results: Dict[int, SimulationMetrics] = {}
+    results: Dict[int, object] = {}
     crashed: List[int] = []
     with ProcessPoolExecutor(
         max_workers=workers, initializer=initializer, initargs=initargs
     ) as executor:
         try:
-            futures = [executor.submit(_execute_job, job) for job in jobs]
+            futures = [executor.submit(execute, job) for job in jobs]
         except BrokenProcessPool:
             # The pool died during submission (initializer crash): nothing
             # ran, everything is retryable.
@@ -222,6 +228,24 @@ def run_simulation_jobs(
     * ``"pickle"`` — always pickle the whole workload into the pool
       initializer (the pre-shm behaviour).
     """
+    return _dispatch_jobs(workload, jobs, n_jobs, transport, _execute_job)
+
+
+def _dispatch_jobs(
+    workload: Workload,
+    jobs: Sequence[object],
+    n_jobs: Optional[int],
+    transport: str,
+    execute: Callable,
+) -> List[object]:
+    """Shared dispatch core of the job-grid and fleet-shard entry points.
+
+    Handles transport validation, the serial in-process shortcut, the
+    shared-memory publish/attach round-trip, and the crash-retry protocol
+    identically for every job type; ``execute`` is the module-level
+    per-job function submitted to the pool.  Results come back in job
+    order regardless of completion order.
+    """
     if transport not in TRANSPORTS:
         raise ConfigurationError(
             f"transport must be one of {TRANSPORTS}, got {transport!r}"
@@ -242,7 +266,7 @@ def run_simulation_jobs(
         previous = _WORKER_WORKLOAD
         _init_worker(workload)
         try:
-            return [_execute_job(job) for job in jobs]
+            return [execute(job) for job in jobs]
         finally:
             _WORKER_WORKLOAD = previous
 
@@ -272,7 +296,7 @@ def run_simulation_jobs(
     else:
         initializer, initargs = _init_worker, (workload,)
     try:
-        results, broken = _run_pool(jobs, workers, initializer, initargs)
+        results, broken = _run_pool(jobs, workers, initializer, initargs, execute)
         if broken:
             # A worker process died (OOM kill, segfault, machine hiccup)
             # and took the whole pool with it — every job still in flight
@@ -286,6 +310,7 @@ def run_simulation_jobs(
                 min(workers, len(broken)),
                 initializer,
                 initargs,
+                execute,
             )
             for position, index in enumerate(broken):
                 if position in retried:
@@ -328,3 +353,190 @@ def replication_jobs(
         )
         for run_index in range(num_runs)
     ]
+
+
+# ----------------------------------------------------------------------
+# Sharded fleet replay (hierarchy pops as independent processes).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetShardJob:
+    """One pop-group's slice of a fleet replay.
+
+    The worker selects the clients with ``client_id % num_shards ==
+    shard`` from its installed workload trace
+    (:meth:`~repro.trace.columnar.ColumnarTrace.client_shard`) — the same
+    affinity rule that pins clients to hierarchy pops — and replays only
+    that slice.  Shipping ``(shard, num_shards)`` instead of the
+    sub-trace keeps the fan-out cost independent of trace length: the
+    full trace travels once (shared memory when columnar and large), and
+    each worker's selection is a local mask over the attached columns.
+    """
+
+    config: SimulationConfig
+    policy_factory: Callable[[], object]
+    shard: int
+    num_shards: int
+
+
+def _execute_fleet_shard(job: FleetShardJob) -> SimulationResult:
+    """Replay one client shard against the worker's installed workload.
+
+    The topology is built from a dedicated generator seeded with the
+    config seed — a deterministic function of the seed and the (shared)
+    catalog — so every shard faces identical per-server bandwidth
+    assignments, exactly as one process replaying the whole trace would.
+    """
+    workload = _WORKER_WORKLOAD
+    if workload is None:  # pragma: no cover - defensive
+        raise ConfigurationError("worker has no workload installed")
+    shard_trace = ColumnarTrace.from_trace(workload.trace).client_shard(
+        job.shard, job.num_shards
+    )
+    shard_workload = replace(workload, trace=shard_trace)
+    simulator = ProxyCacheSimulator(shard_workload, job.config)
+    topology = simulator.build_topology(np.random.default_rng(job.config.seed))
+    return simulator.run(job.policy_factory(), topology=topology)
+
+
+def merge_shard_results(
+    shard_results: Sequence[Tuple[int, SimulationResult]],
+) -> SimulationResult:
+    """Deterministically reduce per-shard results into one fleet result.
+
+    Accepts ``(shard_index, result)`` pairs in **any** order — workers
+    complete unpredictably — and first sorts by shard index, so the
+    floating-point accumulation order is a function of the shard
+    partition alone and the merged result is bit-identical under every
+    completion permutation.
+
+    The reduction reconstructs each shard's metric accumulators from its
+    finalized averages (``sum = average x count``), merges them through
+    the same :class:`~repro.sim.metrics.MetricsCollector` the replay
+    loops feed, and re-applies :meth:`~repro.sim.metrics.
+    MetricsCollector.finalize` — so every derived ratio is recomputed
+    over fleet-wide totals rather than averaged across shards.
+    Hierarchy reports merge tier-by-tier
+    (:meth:`~repro.sim.hierarchy.HierarchyReport.merge`); the per-run
+    diagnostic blocks that have no cross-process meaning (timeline,
+    profile, fault and streaming reports, heap statistics) are dropped
+    from the merged result and remain readable per shard.
+    """
+    if not shard_results:
+        raise ConfigurationError("cannot merge an empty list of shard results")
+    ordered = sorted(shard_results, key=lambda pair: pair[0])
+    results = [result for _, result in ordered]
+    collector = MetricsCollector(measuring=True)
+    for result in results:
+        metrics = result.metrics
+        requests = metrics.requests
+        delayed = round(metrics.delayed_request_ratio * requests)
+        collector.absorb(
+            requests=requests,
+            bytes_from_cache=metrics.bytes_from_cache_gb * 1_000_000.0,
+            bytes_from_server=metrics.bytes_from_server_gb * 1_000_000.0,
+            delay_sum=metrics.average_service_delay * requests,
+            quality_sum=metrics.average_stream_quality * requests,
+            value_sum=metrics.total_added_value,
+            hits=round(metrics.hit_ratio * requests),
+            immediate=round(metrics.immediate_service_ratio * requests),
+            delayed=delayed,
+            delay_sum_delayed=metrics.average_delay_among_delayed * delayed,
+            warmup_requests=result.warmup_requests,
+            failed=metrics.failed_requests,
+            stale_served=metrics.stale_served_requests,
+            retried=metrics.retried_requests,
+            total_retries=metrics.total_retries,
+        )
+    reports = [result.hierarchy_report for result in results]
+    merged_report = (
+        HierarchyReport.merge(reports) if all(r is not None for r in reports) else None
+    )
+    reference = results[0]
+    return SimulationResult(
+        metrics=collector.finalize(),
+        policy_name=reference.policy_name,
+        config=reference.config,
+        # Every shard runs the same cache capacities, so the fleet-wide
+        # occupancy (total used / total capacity) is the plain mean.
+        final_cache_occupancy=(
+            sum(result.final_cache_occupancy for result in results) / len(results)
+        ),
+        final_cached_objects=sum(result.final_cached_objects for result in results),
+        warmup_requests=sum(result.warmup_requests for result in results),
+        used_fast_path=all(result.used_fast_path for result in results),
+        replay_path=reference.replay_path,
+        auxiliary_events_fired=sum(
+            result.auxiliary_events_fired for result in results
+        ),
+        hierarchy_report=merged_report,
+    )
+
+
+@dataclass(frozen=True)
+class FleetReplayResult:
+    """Outcome of :func:`run_sharded_fleet`.
+
+    ``merged`` is the deterministic fleet-wide reduction; ``shard_results``
+    keeps each shard's full :class:`~repro.sim.simulator.SimulationResult`
+    (in shard order) for per-pop inspection.
+    """
+
+    merged: SimulationResult
+    shard_results: Tuple[SimulationResult, ...]
+    num_shards: int
+
+
+def run_sharded_fleet(
+    workload: Workload,
+    config: SimulationConfig,
+    policy_factory: Callable[[], object],
+    num_shards: int,
+    n_jobs: Optional[int] = 1,
+    transport: str = "auto",
+) -> FleetReplayResult:
+    """Replay a workload as ``num_shards`` client-group shards and reduce.
+
+    Each shard replays the clients with ``client_id % num_shards ==
+    shard`` in its own job — in-process when ``n_jobs`` resolves to one
+    worker, otherwise across a process pool fed by the same workload
+    transports as :func:`run_simulation_jobs` (shared memory for large
+    columnar traces).  The merged result is produced by
+    :func:`merge_shard_results` and is identical for every ``n_jobs`` and
+    ``transport`` choice: the partition, each shard's replay, and the
+    reduction order are all deterministic in ``config.seed``.
+
+    Hierarchy configs compose per shard — every shard runs its own full
+    tier chain, which matches the per-pop fleet semantics of
+    :mod:`repro.sim.hierarchy` exactly as long as pops do not read each
+    other's caches; ``sibling_lookup`` couples pops cross-shard and is
+    therefore rejected here.
+    """
+    if num_shards <= 0:
+        raise ConfigurationError(
+            f"num_shards must be positive, got {num_shards}"
+        )
+    if config.hierarchy is not None and config.hierarchy.sibling_lookup:
+        raise ConfigurationError(
+            "sharded fleet replay cannot run with sibling_lookup: sibling "
+            "reads couple pops across shard boundaries, so the partition "
+            "would change the result; run single-process or disable "
+            "sibling lookups"
+        )
+    jobs = [
+        FleetShardJob(
+            config=config,
+            policy_factory=policy_factory,
+            shard=shard,
+            num_shards=num_shards,
+        )
+        for shard in range(num_shards)
+    ]
+    results = _dispatch_jobs(workload, jobs, n_jobs, transport, _execute_fleet_shard)
+    merged = merge_shard_results(list(enumerate(results)))
+    return FleetReplayResult(
+        merged=merged,
+        shard_results=tuple(results),
+        num_shards=num_shards,
+    )

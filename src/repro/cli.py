@@ -84,6 +84,7 @@ EXPERIMENTS: Dict[str, Callable[..., exp.ExperimentResult]] = {
     "fig12": exp.experiment_fig12_value_estimator,
     "faults": exp.experiment_fault_tolerance,
     "hetero": exp.experiment_client_heterogeneity,
+    "hierarchy": exp.experiment_hierarchy,
     "reactive": exp.experiment_reactive_rekeying,
     "streaming": exp.experiment_streaming_delivery,
     "tab1": exp.experiment_table1_workload,
@@ -205,6 +206,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="a session abandons rather than wait longer than "
                           "this for full-quality startup (it degrades to a "
                           "sustainable layer subset first when possible)")
+    run.add_argument("--tiers", type=int, default=None, metavar="N",
+                     help="replay against an N-tier cache hierarchy (edge pop "
+                          "-> parents -> origin) instead of one proxy; each "
+                          "tier runs its own cache and policy instance "
+                          "(see docs/hierarchy.md)")
+    run.add_argument("--tier-cache-kb", default=None, metavar="KB[,KB...]",
+                     help="per-tier cache capacities for --tiers, edge first "
+                          "(one value is reused for every tier)")
+    run.add_argument("--tier-uplink", default=None, metavar="KBPS[,KBPS...]",
+                     help="per-tier uplink bandwidths toward the next tier "
+                          "(default: unconstrained inter-tier links)")
+    run.add_argument("--pops", type=int, default=1, metavar="N",
+                     help="edge pops in the fleet; clients are pinned to pops "
+                          "by id (requires --tiers; widens the workload to at "
+                          "least N clients)")
+    run.add_argument("--sibling-lookup", action="store_true",
+                     help="ICP-style whole-object lookup at the other pops' "
+                          "edge caches before parent escalation "
+                          "(requires --pops >= 2)")
+    run.add_argument("--sibling-bandwidth", type=float, default=None,
+                     metavar="KBPS",
+                     help="bandwidth of a sibling-served transfer "
+                          "(default: unconstrained)")
+    run.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="partition the trace into N client-group shards and "
+                          "replay each in its own worker process, then merge "
+                          "deterministically (incompatible with "
+                          "--sibling-lookup)")
     run.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="record a windowed metrics timeline and write it to "
                           "this JSON file (also prints a short table; see "
@@ -343,6 +372,71 @@ def _streaming_config(args: argparse.Namespace) -> Optional[StreamingConfig]:
     )
 
 
+def _parse_tier_values(raw: Optional[str], tiers: int, flag: str,
+                       default: float) -> list:
+    """Expand a comma-separated per-tier flag to exactly ``tiers`` floats."""
+    if raw is None:
+        return [default] * tiers
+    try:
+        values = [float(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        _log.error("%s expects comma-separated numbers, got %r", flag, raw)
+        raise SystemExit(2)
+    if len(values) == 1:
+        return values * tiers
+    if len(values) != tiers:
+        _log.error("%s needs 1 or %d value(s), got %d", flag, tiers, len(values))
+        raise SystemExit(2)
+    return values
+
+
+def _hierarchy_config(args: argparse.Namespace):
+    """Build a :class:`HierarchyConfig` from the ``run --tiers`` family."""
+    from repro.sim.hierarchy import CacheTier, HierarchyConfig
+
+    if args.tiers is None:
+        for flag, value in (("--tier-cache-kb", args.tier_cache_kb),
+                            ("--tier-uplink", args.tier_uplink),
+                            ("--sibling-lookup", args.sibling_lookup or None),
+                            ("--shards", args.shards)):
+            if value is not None:
+                _log.error("%s requires --tiers", flag)
+                raise SystemExit(2)
+        if args.pops != 1:
+            _log.error("--pops requires --tiers")
+            raise SystemExit(2)
+        return None
+    if args.tiers < 1:
+        _log.error("--tiers must be at least 1, got %d", args.tiers)
+        raise SystemExit(2)
+    if args.tier_cache_kb is None:
+        _log.error("--tiers requires --tier-cache-kb")
+        raise SystemExit(2)
+    caches = _parse_tier_values(args.tier_cache_kb, args.tiers,
+                                "--tier-cache-kb", 0.0)
+    uplinks = _parse_tier_values(args.tier_uplink, args.tiers,
+                                 "--tier-uplink", float("inf"))
+    names = ["edge"] + [
+        f"parent{index}" if args.tiers > 2 else "parent"
+        for index in range(1, args.tiers)
+    ]
+    tiers = tuple(
+        # Tier policies must come from the registry, so the tiers reuse the
+        # run policy's registry name (estimator hybrids stay edge-only).
+        CacheTier(name=name, cache_kb=cache, policy=args.policy,
+                  uplink_bandwidth=uplink)
+        for name, cache, uplink in zip(names, caches, uplinks)
+    )
+    return HierarchyConfig(
+        tiers=tiers,
+        num_pops=args.pops,
+        sibling_lookup=args.sibling_lookup,
+        sibling_bandwidth=(args.sibling_bandwidth
+                           if args.sibling_bandwidth is not None
+                           else float("inf")),
+    )
+
+
 def _observability_config(args: argparse.Namespace) -> Optional[ObservabilityConfig]:
     """Build an :class:`ObservabilityConfig` from the ``run`` obs flags."""
     if not (args.metrics_out or args.trace_out or args.profile):
@@ -364,10 +458,17 @@ def _run_single(args: argparse.Namespace) -> int:
     if args.scale != 1.0:
         workload_config = workload_config.scaled(args.scale)
     client_clouds = _client_cloud_config(args)
+    hierarchy = _hierarchy_config(args)
     if client_clouds is not None:
         # One distinct client per last-mile group keeps the CLI surface
         # simple; the library supports many clients per group.
         workload_config = replace(workload_config, num_clients=client_clouds.groups)
+    if hierarchy is not None and hierarchy.num_pops > workload_config.num_clients:
+        # Pops (and fleet shards) partition clients by id, so the workload
+        # needs at least one client per pop to exercise every chain.
+        workload_config = replace(workload_config, num_clients=hierarchy.num_pops)
+    if args.shards is not None and args.shards > workload_config.num_clients:
+        workload_config = replace(workload_config, num_clients=args.shards)
     # Columnar workload: metrics are bit-identical to the object trace, the
     # replay skips Request boxing, and re-measurement runs take the columnar
     # event path instead of the classic calendar.
@@ -389,11 +490,28 @@ def _run_single(args: argparse.Namespace) -> int:
         reactive_rekey_cap=args.reactive_rekey_cap,
         faults=_fault_config(args),
         streaming=_streaming_config(args),
+        hierarchy=hierarchy,
         observability=_observability_config(args),
         seed=args.seed,
     )
-    policy = make_policy(args.policy, estimator_e=args.estimator_e)
-    result = ProxyCacheSimulator(workload, config).run(policy)
+    fleet = None
+    if args.shards is not None:
+        from repro.analysis.parallel import run_sharded_fleet
+
+        if args.shards < 1:
+            _log.error("--shards must be at least 1, got %d", args.shards)
+            raise SystemExit(2)
+        fleet = run_sharded_fleet(
+            workload,
+            config,
+            PolicySpec(args.policy, estimator_e=args.estimator_e),
+            num_shards=args.shards,
+            n_jobs=args.shards,
+        )
+        result = fleet.merged
+    else:
+        policy = make_policy(args.policy, estimator_e=args.estimator_e)
+        result = ProxyCacheSimulator(workload, config).run(policy)
     print(f"policy: {result.policy_name}")
     print(f"cache size: {args.cache_gb} GB "
           f"({config.cache_fraction_of(workload.catalog.total_size):.1%} of unique bytes)")
@@ -445,6 +563,31 @@ def _run_single(args: argparse.Namespace) -> int:
             print(f"streaming cache: {report.prefetch_extensions} prefetch "
                   f"extension(s), {report.fragment_trims} fragment trim(s), "
                   f"{report.pressure_trimmed_kb:.6g} KB trimmed under pressure")
+    if fleet is not None:
+        shard_requests = [s.metrics.requests for s in fleet.shard_results]
+        print(f"fleet shards: {fleet.num_shards} client-group shard(s), "
+              f"per-shard measured requests {shard_requests}, "
+              f"merged deterministically")
+    if result.hierarchy_report is not None:
+        report = result.hierarchy_report
+        names = report.tier_names
+        pops = config.hierarchy.num_pops
+        print(f"hierarchy: {len(names)} tier(s) x {pops} pop(s)")
+        for tier, requests, hits, ratio, byte_ratio in zip(
+            names,
+            report.tier_requests,
+            report.tier_hits,
+            report.tier_hit_ratios,
+            report.tier_byte_hit_ratios,
+        ):
+            print(f"  tier {tier}: {requests} request(s), {hits} hit(s), "
+                  f"hit ratio {ratio:.6g}, byte hit ratio {byte_ratio:.6g}")
+        if config.hierarchy.sibling_lookup:
+            print(f"  siblings: {report.sibling_hits} whole-object hit(s), "
+                  f"{report.sibling_bytes:.6g} KB")
+        print(f"  origin: {report.origin_bytes:.6g} KB "
+              f"({report.origin_byte_ratio:.6g} of client bytes); "
+              f"tiers absorbed {report.tier_absorbed_bytes:.6g} KB")
     for key, value in result.metrics.as_dict().items():
         print(f"{key}: {value:.6g}")
     if result.heap_statistics is not None:

@@ -6,6 +6,9 @@
 * :mod:`repro.sim.config` — simulation configuration,
 * :mod:`repro.sim.faults` — fault injection (origin outages, link flaps)
   and the fetch timeout / retry / serve-stale degradation model,
+* :mod:`repro.sim.hierarchy` — multi-tier cache hierarchies (edge pops,
+  parents, optional ICP-style sibling lookup) composed with the
+  bottleneck bandwidth model,
 * :mod:`repro.sim.metrics` — the paper's performance metrics (Section 3.3),
 * :mod:`repro.sim.simulator` — the proxy-cache simulator proper, with its
   three bit-identical replay paths (event calendar / fast / columnar
@@ -34,6 +37,7 @@ from repro.sim.faults import (
     FaultReport,
     FaultSchedule,
 )
+from repro.sim.hierarchy import CacheTier, HierarchyConfig, HierarchyReport
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.runner import PolicyComparison, SweepResult, compare_policies, run_replications, sweep_cache_sizes
 from repro.sim.sharing import SharingReport, StreamSharingAnalyzer, prefix_function_for_bandwidth
@@ -49,6 +53,7 @@ __all__ = [
     "AuxiliarySchedule",
     "BandwidthKnowledge",
     "BandwidthRemeasurement",
+    "CacheTier",
     "ClientCloudConfig",
     "Event",
     "EventQueue",
@@ -58,6 +63,8 @@ __all__ = [
     "FaultInjector",
     "FaultReport",
     "FaultSchedule",
+    "HierarchyConfig",
+    "HierarchyReport",
     "MetricsCollector",
     "PeriodicEvent",
     "PolicyComparison",

@@ -22,6 +22,7 @@ from repro.network.variability import BandwidthVariabilityModel, ConstantVariabi
 from repro.obs.config import ObservabilityConfig
 from repro.sim.events import RemeasurementConfig
 from repro.sim.faults import FaultConfig
+from repro.sim.hierarchy import HierarchyConfig
 from repro.sim.streaming import StreamingConfig
 from repro.units import gb_to_kb
 
@@ -195,6 +196,15 @@ class SimulationConfig:
         model of :class:`~repro.sim.streaming.StreamingDeliveryEngine`.
         ``None`` (default) keeps every replay path bit-identical to the
         pre-streaming simulator; see ``docs/streaming.md``.
+    hierarchy:
+        Optional :class:`~repro.sim.hierarchy.HierarchyConfig` replacing
+        the single proxy with a multi-cache fleet: per-pop edge caches,
+        parent tiers joined by static uplinks, and optional ICP-style
+        sibling lookups, each tier running its own store and policy
+        instance.  ``None`` (default) keeps every replay path
+        bit-identical to the single-proxy simulator.  Incompatible with
+        ``streaming`` and the reactive re-keying machinery (both assume
+        the single proxy store); see ``docs/hierarchy.md``.
     observability:
         Optional :class:`~repro.obs.config.ObservabilityConfig` switching
         on the run's observability layers: the windowed metrics timeline
@@ -228,6 +238,7 @@ class SimulationConfig:
     reactive_rekey_cap: Optional[int] = None
     faults: Optional[FaultConfig] = None
     streaming: Optional[StreamingConfig] = None
+    hierarchy: Optional[HierarchyConfig] = None
     observability: Optional[ObservabilityConfig] = None
     seed: int = 0
     verify_store: bool = False
@@ -289,6 +300,19 @@ class SimulationConfig:
                 raise ConfigurationError(
                     f"reactive_rekey_cap must be positive, got {self.reactive_rekey_cap}"
                 )
+        if self.hierarchy is not None:
+            if self.streaming is not None:
+                raise ConfigurationError(
+                    "hierarchy cannot be combined with streaming: segment-"
+                    "aware sessions assume the single proxy store (planned "
+                    "follow-up, see docs/hierarchy.md)"
+                )
+            if self.reactive_threshold is not None:
+                raise ConfigurationError(
+                    "hierarchy cannot be combined with reactive re-keying: "
+                    "the re-keyer walks the single proxy's policy heap "
+                    "(planned follow-up, see docs/hierarchy.md)"
+                )
 
     @property
     def cache_size_kb(self) -> float:
@@ -344,6 +368,16 @@ class SimulationConfig:
         delivery arithmetic (the default).
         """
         return replace(self, streaming=streaming)
+
+    def with_hierarchy(
+        self, hierarchy: Optional[HierarchyConfig]
+    ) -> "SimulationConfig":
+        """Copy of this config with a different cache-hierarchy layout.
+
+        Pass ``None`` to return to the single network-aware proxy (the
+        default).
+        """
+        return replace(self, hierarchy=hierarchy)
 
     def with_observability(
         self, observability: Optional[ObservabilityConfig]

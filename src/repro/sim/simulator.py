@@ -72,6 +72,7 @@ from repro.sim.faults import (
     FaultReport,
     stale_quality,
 )
+from repro.sim.hierarchy import HierarchyEngine, HierarchyReport
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.streaming import StreamingDeliveryEngine, StreamingReport
 from repro.streaming.session import DeliverySession
@@ -114,6 +115,12 @@ class SimulationResult:
     carries the QoE accounting (startup delay, rebuffer ratio, delivered
     quality, abandonment) when the run had
     :attr:`~repro.sim.config.SimulationConfig.streaming` enabled.
+    ``hierarchy_report`` carries the per-tier hit/byte accounting (tier-
+    absorbed vs origin bytes, sibling hits) when the run had
+    :attr:`~repro.sim.config.SimulationConfig.hierarchy` enabled — in
+    which case ``final_cache_occupancy`` / ``final_cached_objects``
+    aggregate over every tier store in the fleet and ``heap_statistics``
+    is ``None`` (each tier owns its own policy heap).
 
     The observability fields (:mod:`repro.obs`) are populated when the
     config carries an
@@ -144,6 +151,7 @@ class SimulationResult:
     reactive_rekeys_by_server: Dict[int, int] = field(default_factory=dict)
     fault_report: Optional[FaultReport] = None
     streaming_report: Optional[StreamingReport] = None
+    hierarchy_report: Optional[HierarchyReport] = None
     timeline: Optional[MetricsTimeline] = None
     profile: Optional[Dict[str, Dict[str, float]]] = None
     heap_statistics: Optional[Dict[str, int]] = None
@@ -333,6 +341,22 @@ class ProxyCacheSimulator:
                 observed[index] = paths[group_list[index]].observed_bandwidth(rng)
         return base.tolist(), observed.tolist(), groups.tolist()
 
+    def _pop_sequence(self, trace) -> Optional[List[int]]:
+        """Per-request pop indices (``client_id % num_pops``), resolved once.
+
+        Mirrors the affinity rule of :meth:`_last_mile_sequences` (clients
+        are pinned by id modulo the replica count).  Returns ``None`` for a
+        single-pop hierarchy so the replay loops skip the lookup entirely.
+        """
+        num_pops = self.config.hierarchy.num_pops
+        if num_pops <= 1:
+            return None
+        if isinstance(trace, ColumnarTrace):
+            return (
+                trace.client_ids_array.astype(np.int64, copy=False) % num_pops
+            ).tolist()
+        return [request.client_id % num_pops for request in trace]
+
     def run(
         self,
         policy,
@@ -390,7 +414,17 @@ class ProxyCacheSimulator:
             store: CacheStore = ObservedCacheStore(self.config.cache_size_kb, sink)
         else:
             store = CacheStore(self.config.cache_size_kb)
-        if hasattr(policy, "install"):
+        hierarchy: Optional[HierarchyEngine] = None
+        if self.config.hierarchy is not None:
+            # The run policy's registry name seeds the per-tier policy
+            # instances; the instance itself is never installed — each
+            # tier owns a fresh policy on its own store.
+            hierarchy = HierarchyEngine(
+                self.config.hierarchy,
+                self.workload.catalog,
+                default_policy=getattr(policy, "name", type(policy).__name__),
+            )
+        elif hasattr(policy, "install"):
             policy.install(store, self.workload.catalog)
 
         streaming: Optional[StreamingDeliveryEngine] = None
@@ -474,7 +508,10 @@ class ProxyCacheSimulator:
                 obs.window_s, trace.start_time if total_requests else 0.0
             )
             timeline.bind(
-                store=store, rekeyer=rekeyer, injector=injector, streaming=streaming
+                store=store if hierarchy is None else hierarchy.primary_edge_store,
+                rekeyer=rekeyer,
+                injector=injector,
+                streaming=streaming,
             )
         if sink is not None:
             if rekeyer is not None:
@@ -495,6 +532,7 @@ class ProxyCacheSimulator:
         )
 
         last_mile = self._last_mile_sequences(topology, trace)
+        pops = self._pop_sequence(trace) if hierarchy is not None else None
         # Passive-driven re-keying: the replay loops notify the rekeyer
         # after every request's estimator update (docs/events.md).
         passive_rekeyer = rekeyer if self.config.reactive_passive else None
@@ -537,6 +575,8 @@ class ProxyCacheSimulator:
                     injector,
                     timeline,
                     streaming,
+                    hierarchy,
+                    pops,
                 )
             elif mode == "columnar-event":
                 self._replay_events_columnar(
@@ -554,6 +594,8 @@ class ProxyCacheSimulator:
                     injector,
                     timeline,
                     streaming,
+                    hierarchy,
+                    pops,
                 )
             else:
                 schedule.schedule_into(engine)
@@ -571,6 +613,8 @@ class ProxyCacheSimulator:
                     injector,
                     timeline,
                     streaming,
+                    hierarchy,
+                    pops,
                 )
 
             if timeline is not None:
@@ -608,8 +652,12 @@ class ProxyCacheSimulator:
             metrics=metrics,
             policy_name=getattr(policy, "name", type(policy).__name__),
             config=self.config,
-            final_cache_occupancy=store.occupancy,
-            final_cached_objects=len(store),
+            final_cache_occupancy=(
+                store.occupancy if hierarchy is None else hierarchy.final_occupancy()
+            ),
+            final_cached_objects=(
+                len(store) if hierarchy is None else hierarchy.total_cached_objects()
+            ),
             warmup_requests=collector.warmup_requests,
             used_fast_path=mode == "fast",
             replay_path=mode,
@@ -623,11 +671,12 @@ class ProxyCacheSimulator:
             ),
             fault_report=injector.report() if injector is not None else None,
             streaming_report=streaming.report() if streaming is not None else None,
+            hierarchy_report=hierarchy.report() if hierarchy is not None else None,
             timeline=timeline,
             profile=profiler.report() if profiler is not None else None,
             heap_statistics=(
                 policy.heap_statistics()
-                if hasattr(policy, "heap_statistics")
+                if hierarchy is None and hasattr(policy, "heap_statistics")
                 else None
             ),
         )
@@ -689,6 +738,8 @@ class ProxyCacheSimulator:
         injector: Optional[FaultInjector] = None,
         timeline: Optional[MetricsTimeline] = None,
         streaming: Optional[StreamingDeliveryEngine] = None,
+        hierarchy: Optional[HierarchyEngine] = None,
+        pops: Optional[List[int]] = None,
     ) -> None:
         """Dispatch every request through the discrete-event engine.
 
@@ -718,6 +769,18 @@ class ProxyCacheSimulator:
         at this same sequence point — the policy / estimator / rekeyer
         calls that follow are untouched, which is what keeps the QoE
         metrics bit-identical across all four replay paths.
+
+        ``hierarchy`` (set when the config has
+        :attr:`~repro.sim.config.SimulationConfig.hierarchy`) routes every
+        successful fetch through the shared
+        :class:`~repro.sim.hierarchy.HierarchyEngine` at the same sequence
+        point on every path: the engine resolves the client's pop
+        (``pops``, or pop 0 throughout), reads the edge residency, walks
+        the miss up the tier chain (or to a sibling pop), runs each
+        consulted tier's own policy, and hands back the ``(cached,
+        bandwidth)`` pair the delivery arithmetic below consumes — so the
+        single-proxy ``policy.on_request`` is skipped.  Failed fetches
+        serve stale from the client's edge cache.
         """
         catalog = self.workload.catalog
         stream_ids = streaming.stream_ids if streaming is not None else None
@@ -787,7 +850,21 @@ class ProxyCacheSimulator:
                         disposition[4] if disposition is not None else 0,
                     )
                 else:
-                    cached_before = store.cached_bytes(obj.object_id)
+                    if hierarchy is not None:
+                        cached_before, observed_bandwidth = hierarchy.serve(
+                            pops[index] if pops is not None else 0,
+                            obj.object_id,
+                            obj,
+                            obj.size,
+                            observed_bandwidth,
+                            lm_draw,
+                            believed_bandwidth,
+                            prior_estimate,
+                            engine.now,
+                            collector.measuring,
+                        )
+                    else:
+                        cached_before = store.cached_bytes(obj.object_id)
                     outcome = DeliverySession(
                         obj, cached_before, observed_bandwidth
                     ).outcome()
@@ -807,7 +884,8 @@ class ProxyCacheSimulator:
                             outcome.value,
                             disposition[4],
                         )
-                policy.on_request(obj, believed_bandwidth, engine.now, store)
+                if hierarchy is None:
+                    policy.on_request(obj, believed_bandwidth, engine.now, store)
                 if estimator is not None:
                     estimator.observe(obj.server_id, origin_observed)
                     if rekeyer is not None:
@@ -821,7 +899,12 @@ class ProxyCacheSimulator:
             else:
                 # Fetch failed after the retry budget: serve the cached
                 # prefix stale, or fail the request outright.
-                cached = store.cached_bytes(obj.object_id)
+                if hierarchy is not None:
+                    cached = hierarchy.edge_cached(
+                        pops[index] if pops is not None else 0, obj.object_id
+                    )
+                else:
+                    cached = store.cached_bytes(obj.object_id)
                 size = obj.size
                 if cached > size:
                     cached = size
@@ -861,7 +944,11 @@ class ProxyCacheSimulator:
                             prior_estimate,
                             disposition[1],
                         )
-            if self.config.verify_store and not store.verify_consistency():
+            if self.config.verify_store and not (
+                store.verify_consistency()
+                if hierarchy is None
+                else hierarchy.verify_consistency()
+            ):
                 raise AssertionError(
                     "cache store accounting became inconsistent "
                     f"after request {index} (object {obj.object_id})"
@@ -910,6 +997,8 @@ class ProxyCacheSimulator:
         injector: Optional[FaultInjector] = None,
         timeline: Optional[MetricsTimeline] = None,
         streaming: Optional[StreamingDeliveryEngine] = None,
+        hierarchy: Optional[HierarchyEngine] = None,
+        pops: Optional[List[int]] = None,
     ) -> None:
         """Iterate the trace in a tight loop, bypassing the event calendar.
 
@@ -945,6 +1034,8 @@ class ProxyCacheSimulator:
                     injector,
                     timeline,
                     streaming,
+                    hierarchy,
+                    pops,
                 )
 
         ratio_array = self._predraw_ratios(topology, rng, len(trace))
@@ -957,7 +1048,11 @@ class ProxyCacheSimulator:
         estimator_estimate = estimator.estimate if estimator is not None else None
         estimator_observe = estimator.observe if estimator is not None else None
         verify_store = self.config.verify_store
-        verify_consistency = store.verify_consistency
+        verify_consistency = (
+            store.verify_consistency if hierarchy is None else hierarchy.verify_consistency
+        )
+        hier_serve = hierarchy.serve if hierarchy is not None else None
+        hier_edge = hierarchy.edge_cached if hierarchy is not None else None
         inf = float("inf")
 
         # Per-object resolution cache: (obj, base_bw, size, duration,
@@ -1089,12 +1184,26 @@ class ProxyCacheSimulator:
                     lm_observed[index] if lm_observed is not None else None,
                 )
 
-            cached = store_cached(object_id)
+            if hier_serve is None:
+                cached = store_cached(object_id)
 
             if disposition is None or disposition[0] == 0:  # FETCH_OK
                 if disposition is not None:
                     observed = disposition[1]
                     origin_observed = disposition[2]
+                if hier_serve is not None:
+                    cached, observed = hier_serve(
+                        pops[index] if pops is not None else 0,
+                        object_id,
+                        obj,
+                        size,
+                        observed,
+                        lm_observed[index] if lm_observed is not None else None,
+                        believed,
+                        prior_estimate,
+                        req_time,
+                        measuring,
+                    )
                 if stream_serve is not None and object_id in stream_ids:
                     # Segment-aware session through the shared streaming
                     # engine; the accumulation below mirrors
@@ -1175,7 +1284,8 @@ class ProxyCacheSimulator:
                 else:
                     warmup_count += 1
 
-                policy_on_request(obj, believed, req_time, store)
+                if hier_serve is None:
+                    policy_on_request(obj, believed, req_time, store)
                 if estimator_observe is not None:
                     estimator_observe(server_id, origin_observed)
                     if rekeyer_request is not None:
@@ -1191,6 +1301,10 @@ class ProxyCacheSimulator:
                 # prefix stale, or fail the request outright.  No
                 # policy_on_request — the origin is unreachable, so there
                 # is nothing to fetch or admit.
+                if hier_edge is not None:
+                    cached = hier_edge(
+                        pops[index] if pops is not None else 0, object_id
+                    )
                 if cached > size:
                     cached = size
                 stale = serve_stale and cached > 0.0
@@ -1272,6 +1386,8 @@ class ProxyCacheSimulator:
         injector: Optional[FaultInjector] = None,
         timeline: Optional[MetricsTimeline] = None,
         streaming: Optional[StreamingDeliveryEngine] = None,
+        hierarchy: Optional[HierarchyEngine] = None,
+        pops: Optional[List[int]] = None,
     ) -> None:
         """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
 
@@ -1296,6 +1412,8 @@ class ProxyCacheSimulator:
             injector,
             timeline,
             streaming,
+            hierarchy,
+            pops,
         )
 
     # ------------------------------------------------------------------
@@ -1317,6 +1435,8 @@ class ProxyCacheSimulator:
         injector: Optional[FaultInjector] = None,
         timeline: Optional[MetricsTimeline] = None,
         streaming: Optional[StreamingDeliveryEngine] = None,
+        hierarchy: Optional[HierarchyEngine] = None,
+        pops: Optional[List[int]] = None,
     ) -> None:
         """Event-capable replay over a dense-id columnar trace.
 
@@ -1349,7 +1469,11 @@ class ProxyCacheSimulator:
         estimator_estimate = estimator.estimate if estimator is not None else None
         estimator_observe = estimator.observe if estimator is not None else None
         verify_store = self.config.verify_store
-        verify_consistency = store.verify_consistency
+        verify_consistency = (
+            store.verify_consistency if hierarchy is None else hierarchy.verify_consistency
+        )
+        hier_serve = hierarchy.serve if hierarchy is not None else None
+        hier_edge = hierarchy.edge_cached if hierarchy is not None else None
         inf = float("inf")
 
         ids_array = trace.object_ids_array
@@ -1492,6 +1616,19 @@ class ProxyCacheSimulator:
                 if disposition is not None:
                     observed = disposition[1]
                     origin_observed = disposition[2]
+                if hier_serve is not None:
+                    cached, observed = hier_serve(
+                        pops[index] if pops is not None else 0,
+                        object_id,
+                        obj,
+                        size,
+                        observed,
+                        lm_observed[index] if lm_observed is not None else None,
+                        believed,
+                        prior_estimate,
+                        req_time,
+                        measuring,
+                    )
                 if stream_serve is not None and object_id in stream_ids:
                     # Segment-aware session through the shared streaming
                     # engine; the accumulation below mirrors
@@ -1528,7 +1665,8 @@ class ProxyCacheSimulator:
                     else:
                         warmup_count += 1
                 elif measuring:
-                    cached = store_cached(object_id)
+                    if hier_serve is None:
+                        cached = store_cached(object_id)
 
                     # DeliverySession.outcome(), inlined with identical
                     # floating-point operation order.
@@ -1574,7 +1712,8 @@ class ProxyCacheSimulator:
                 else:
                     warmup_count += 1
 
-                policy_on_request(obj, believed, req_time, store)
+                if hier_serve is None:
+                    policy_on_request(obj, believed, req_time, store)
                 if estimator_observe is not None:
                     estimator_observe(server_id, origin_observed)
                     if rekeyer_request is not None:
@@ -1590,7 +1729,12 @@ class ProxyCacheSimulator:
                 # prefix stale, or fail the request outright.  No
                 # policy_on_request — the origin is unreachable, so there
                 # is nothing to fetch or admit.
-                cached = store_cached(object_id)
+                if hier_edge is not None:
+                    cached = hier_edge(
+                        pops[index] if pops is not None else 0, object_id
+                    )
+                else:
+                    cached = store_cached(object_id)
                 if cached > size:
                     cached = size
                 stale = serve_stale and cached > 0.0

@@ -199,6 +199,33 @@ class ColumnarTrace:
         cut = int(round(fraction * len(self)))
         return self[:cut], self[cut:]
 
+    def client_shard(self, shard: int, num_shards: int) -> "ColumnarTrace":
+        """Select the sub-trace of clients with ``client_id % num_shards == shard``.
+
+        Partitions the trace by client affinity — the same modulo rule the
+        simulator uses to pin clients to last-mile replicas and hierarchy
+        pops — so the union of the ``num_shards`` shards is exactly this
+        trace and each client's requests land in exactly one shard.  The
+        selection is a boolean-mask fancy index (a compact copy, not a
+        view); relative request order within the shard is preserved, so
+        the result is still time-ordered.
+        """
+        if num_shards <= 0:
+            raise ConfigurationError(
+                f"num_shards must be positive, got {num_shards}"
+            )
+        if not 0 <= shard < num_shards:
+            raise ConfigurationError(
+                f"shard must be in [0, {num_shards}), got {shard}"
+            )
+        mask = (self._client_ids.astype(np.int64, copy=False) % num_shards) == shard
+        return ColumnarTrace(
+            self._times[mask],
+            self._object_ids[mask],
+            self._client_ids[mask],
+            validate=False,
+        )
+
     # ------------------------------------------------------------------
     # Conversions.
     # ------------------------------------------------------------------

@@ -101,7 +101,11 @@ def cleanup_orphans(prefix: str = SHM_NAME_PREFIX) -> List[str]:
             continue
         try:
             entry.unlink()
-        except FileNotFoundError:  # pragma: no cover - lost a race
+        except FileNotFoundError:
+            # Lost a race: the segment vanished between the directory scan
+            # and the unlink (a concurrent sweep, or the dying publisher's
+            # resource tracker got there first).  Someone else reclaimed
+            # it, so it is not ours to report as removed.
             continue
         except OSError:  # pragma: no cover - permissions; leave it be
             continue

@@ -23,7 +23,7 @@ from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 REPLAY_PATH_LABELS = ("event", "fast", "columnar-fast", "columnar-event")
 
 
-def run_replay_paths(workload, config, policy_name="PB"):
+def run_replay_paths(workload, config, policy_name="PB", hierarchy=None):
     """Run the same simulation once per replay loop code path.
 
     Returns ``{label: SimulationResult}`` for the four
@@ -31,8 +31,12 @@ def run_replay_paths(workload, config, policy_name="PB"):
     representation; the other is derived via the lossless
     ``ColumnarTrace`` conversions, so all four loops replay the
     identical request stream.  Topology construction is deterministic in
-    ``config.seed``, so every run sees the same paths.
+    ``config.seed``, so every run sees the same paths.  ``hierarchy``
+    (a :class:`~repro.sim.hierarchy.HierarchyConfig`) is applied to the
+    config before replaying, so every path runs the same tier chain.
     """
+    if hierarchy is not None:
+        config = config.with_hierarchy(hierarchy)
     trace = workload.trace
     if isinstance(trace, ColumnarTrace):
         columnar = workload
@@ -54,16 +58,17 @@ def run_replay_paths(workload, config, policy_name="PB"):
     }
 
 
-def assert_replay_paths_identical(workload, config, policy_name="PB"):
+def assert_replay_paths_identical(workload, config, policy_name="PB", hierarchy=None):
     """Assert all four replay paths are bit-identical; return the results.
 
     Metrics must match exactly; when the reference run carries a
-    timeline, fault report, or streaming report, those must match across
-    the paths too (fault reports via ``approx`` for NaN-valued recovery
-    fields).  Returns the ``{label: SimulationResult}`` dict so callers
-    can make further assertions on any path's result.
+    timeline, fault report, streaming report, or hierarchy report, those
+    must match across the paths too (fault reports via ``approx`` for
+    NaN-valued recovery fields).  Returns the ``{label:
+    SimulationResult}`` dict so callers can make further assertions on
+    any path's result.
     """
-    results = run_replay_paths(workload, config, policy_name)
+    results = run_replay_paths(workload, config, policy_name, hierarchy=hierarchy)
     reference = results["event"]
     for label, result in results.items():
         assert result.metrics == reference.metrics, (policy_name, label)
@@ -76,6 +81,11 @@ def assert_replay_paths_identical(workload, config, policy_name="PB"):
             ), (policy_name, label)
         if reference.streaming_report is not None:
             assert result.streaming_report == reference.streaming_report, (
+                policy_name,
+                label,
+            )
+        if reference.hierarchy_report is not None:
+            assert result.hierarchy_report == reference.hierarchy_report, (
                 policy_name,
                 label,
             )

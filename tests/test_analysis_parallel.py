@@ -178,9 +178,9 @@ def test_job_raised_exceptions_propagate_without_retry(
     attempts = []
     real_run_pool = parallel_mod._run_pool
 
-    def counting_run_pool(jobs, workers, initializer, initargs):
+    def counting_run_pool(jobs, workers, initializer, initargs, execute):
         attempts.append(len(jobs))
-        return real_run_pool(jobs, workers, initializer, initargs)
+        return real_run_pool(jobs, workers, initializer, initargs, execute)
 
     monkeypatch.setattr(parallel_mod, "_run_pool", counting_run_pool)
     bad_config = sim_config  # valid config; the factory itself raises

@@ -41,6 +41,7 @@ def test_required_documents_exist():
         "docs/clients.md",
         "docs/events.md",
         "docs/faults.md",
+        "docs/hierarchy.md",
         "docs/observability.md",
         "docs/performance.md",
         "docs/streaming.md",
@@ -96,6 +97,15 @@ def test_observability_example_runs_as_is(check_docs):
     assert "heap:" in output
 
 
+def test_hierarchy_example_runs_as_is(check_docs):
+    snippet = check_docs.extract_python_block(REPO_ROOT / "docs" / "hierarchy.md")
+    assert snippet is not None, "docs/hierarchy.md lost its ```python example"
+    code, output = check_docs.run_snippet(snippet)
+    assert code == 0, f"docs/hierarchy.md example failed:\n{output}"
+    # The example compares the single cache against the two-tier chain.
+    assert "single cache" in output and "2-tier" in output
+
+
 def test_streaming_example_runs_as_is(check_docs):
     snippet = check_docs.extract_python_block(REPO_ROOT / "docs" / "streaming.md")
     assert snippet is not None, "docs/streaming.md lost its ```python example"
@@ -109,6 +119,7 @@ def test_executable_snippet_registry_covers_clients_page(check_docs):
     assert "docs/clients.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "README.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "docs/events.md" in check_docs.EXECUTABLE_SNIPPETS
+    assert "docs/hierarchy.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "docs/observability.md" in check_docs.EXECUTABLE_SNIPPETS
     assert "docs/streaming.md" in check_docs.EXECUTABLE_SNIPPETS
 

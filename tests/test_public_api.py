@@ -33,6 +33,9 @@ class TestTopLevelExports:
             "StreamingConfig",
             "StreamingReport",
             "SegmentedPrefix",
+            "CacheTier",
+            "HierarchyConfig",
+            "HierarchyReport",
         ):
             assert hasattr(repro, name)
 

@@ -288,6 +288,48 @@ class TestOrphanSweep:
             stranger.unlink()
 
     @needs_shm_dir
+    def test_sweep_tolerates_segment_vanishing_mid_sweep(self, monkeypatch):
+        """A segment reclaimed between the scan and the unlink is skipped.
+
+        A concurrent sweep (or the dead publisher's resource tracker) can
+        unlink a scanned segment before our own unlink runs.  Simulate the
+        interleaving by deleting the segment from inside the liveness
+        check — the sweep must neither raise nor claim the vanished
+        segment as removed, and must still reclaim other orphans.
+        """
+        import os
+
+        from repro.trace import shm as shm_mod
+
+        child = subprocess.Popen(["sleep", "0"])
+        child.wait()
+        vanishing = _SHM_DIR / f"{SHM_NAME_PREFIX}{child.pid}-feedface"
+        vanishing.write_bytes(b"\x00" * 16)
+        surviving_orphan = _SHM_DIR / f"{SHM_NAME_PREFIX}{child.pid}-deadbea7"
+        surviving_orphan.write_bytes(b"\x00" * 16)
+        real_pid_alive = shm_mod._pid_alive
+
+        def racing_pid_alive(pid):
+            # Another sweeper beats us to this segment after we scanned it.
+            if pid == child.pid and vanishing.exists():
+                vanishing.unlink()
+            return real_pid_alive(pid)
+
+        monkeypatch.setattr(shm_mod, "_pid_alive", racing_pid_alive)
+        try:
+            removed = cleanup_orphans()
+            assert vanishing.name not in removed
+            assert surviving_orphan.name in removed
+            assert not surviving_orphan.exists()
+            # Sanity: the race really was exercised, not skipped.
+            assert not vanishing.exists()
+            assert real_pid_alive(os.getpid())
+        finally:
+            for leftover in (vanishing, surviving_orphan):
+                if leftover.exists():  # pragma: no cover - cleanup on failure
+                    leftover.unlink()
+
+    @needs_shm_dir
     def test_killed_publisher_does_not_leak_segments(self):
         """SIGKILLed publisher: after the sweep, its segments are gone.
 
