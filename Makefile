@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check faults-smoke obs-smoke streaming-smoke hierarchy-smoke
+.PHONY: test bench-smoke bench-full bench-figures ingest-demo docs-check kernel-check faults-smoke obs-smoke streaming-smoke hierarchy-smoke
 
 ## Tier-1 verification: the full test + benchmark suite.
 test:
@@ -32,6 +32,13 @@ ingest-demo:
 ## README quickstart and docs/clients.md worked-example snippets.
 docs-check:
 	$(PYTHON) scripts/check_docs.py
+
+## Kernel-seam gate: the replay drivers in repro.sim.simulator must reach
+## every subsystem through repro.sim.kernel (serve_request/serve_batch +
+## kernel_hooks), never directly — the seam that keeps the four replay
+## paths bit-identical.
+kernel-check:
+	$(PYTHON) scripts/check_kernel.py
 
 ## Fault-injection smoke: the fault test suite (replay-path bit-identity,
 ## retry/backoff semantics, reactive behaviour under fault storms) plus a

@@ -1,0 +1,1774 @@
+"""Frozen pre-kernel simulator, kept as a machine-normalised perf reference.
+
+This module is a verbatim snapshot of ``src/repro/sim/simulator.py`` as it
+stood *before* the replay loops were unified around :mod:`repro.sim.kernel`
+(the last pre-kernel commit).  The perf benchmark
+(:mod:`benchmarks.test_bench_perf_throughput`) runs this reference and the
+live simulator back-to-back on the same workload in the same process and
+reports ``kernel.overhead_ratio_vs_pre_kernel`` — pre-kernel throughput over
+kernel throughput — so the <=1.05 gate in ``scripts/check_bench.py`` measures
+the refactor itself, not drift in the benchmark machine.
+
+Do not modernise this file: its value is that it does not change.  It still
+imports only stable subsystem APIs (``DeliverySession``, ``FETCH_OK``,
+``stale_quality``, the hierarchy/streaming engines), so it keeps running
+against the live package without tracking it.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.store import CacheStore
+from repro.exceptions import SimulationError
+from repro.network.measurement import BandwidthMeasurementLog, PassiveEstimator
+from repro.network.topology import DeliveryTopology
+from repro.obs.profiling import StageProfiler
+from repro.obs.timeline import MetricsTimeline
+from repro.obs.tracing import ObservedCacheStore, TraceSink
+from repro.sim.config import BandwidthKnowledge, SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import (
+    AuxiliarySchedule,
+    ReactiveRekeyer,
+    build_remeasurement_events,
+)
+from repro.sim.faults import (
+    FETCH_OK,
+    FaultInjector,
+    FaultReport,
+    stale_quality,
+)
+from repro.sim.hierarchy import HierarchyEngine, HierarchyReport
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.streaming import StreamingDeliveryEngine, StreamingReport
+from repro.streaming.session import DeliverySession
+from repro.trace.columnar import ColumnarTrace
+from repro.workload.gismo import Workload
+
+
+#: Replay-path names accepted by :meth:`ProxyCacheSimulator.run`'s
+#: ``replay`` argument (``"auto"`` resolves to one of the other three).
+REPLAY_PATHS = ("auto", "event", "fast", "columnar-event")
+
+#: Entropy tag mixed into the client-cloud generator's seed so last-mile
+#: construction and per-request last-mile draws never collide with the
+#: request stream (bare config seed) or the re-measurement stream.
+_CLIENT_CLOUD_STREAM_TAG = 0x434C49
+
+
+@dataclass
+class SimulationResult:
+    """Everything a single simulation run produces.
+
+    ``replay_path`` records which replay loop ran (``"event"``, ``"fast"``,
+    or ``"columnar-event"``); ``used_fast_path`` is kept as the legacy
+    boolean view of the same fact.  ``auxiliary_events_fired`` counts typed
+    periodic-event firings (e.g. bandwidth re-measurements), and
+    ``measurement_log`` carries their per-server sample statistics when the
+    run had re-measurement configured.  ``reactive_shifts`` /
+    ``reactive_rekeys`` count the threshold crossings and heap entries
+    re-keyed by the reactive hook
+    (:attr:`~repro.sim.config.SimulationConfig.reactive_threshold`);
+    ``reactive_suppressed`` counts crossings swallowed by the per-server
+    re-key budget
+    (:attr:`~repro.sim.config.SimulationConfig.reactive_rekey_cap`), and
+    ``reactive_rekeys_by_server`` the per-server re-key counts that budget
+    bounds.  ``fault_report`` carries the whole-run fault accounting
+    (episode counts, retries, stale serves, estimate recovery times) when
+    the run had :attr:`~repro.sim.config.SimulationConfig.faults`
+    enabled; the measurement-phase view (availability, failed / stale /
+    retried requests) lives on :attr:`metrics`.  ``streaming_report``
+    carries the QoE accounting (startup delay, rebuffer ratio, delivered
+    quality, abandonment) when the run had
+    :attr:`~repro.sim.config.SimulationConfig.streaming` enabled.
+    ``hierarchy_report`` carries the per-tier hit/byte accounting (tier-
+    absorbed vs origin bytes, sibling hits) when the run had
+    :attr:`~repro.sim.config.SimulationConfig.hierarchy` enabled — in
+    which case ``final_cache_occupancy`` / ``final_cached_objects``
+    aggregate over every tier store in the fleet and ``heap_statistics``
+    is ``None`` (each tier owns its own policy heap).
+
+    The observability fields (:mod:`repro.obs`) are populated when the
+    config carries an
+    :attr:`~repro.sim.config.SimulationConfig.observability` block:
+    ``timeline`` is the finished windowed
+    :class:`~repro.obs.timeline.MetricsTimeline` (path-identical across
+    all four replay loops), and ``profile`` the per-stage wall-clock
+    report of :class:`~repro.obs.profiling.StageProfiler`.
+    ``heap_statistics`` is recorded on every run whose policy exposes it
+    (the heap-backed paper policies do): peak/live/stale entry counts and
+    compaction totals, so heap health is visible per run rather than
+    only in the benchmark suite.
+    """
+
+    metrics: SimulationMetrics
+    policy_name: str
+    config: SimulationConfig
+    final_cache_occupancy: float
+    final_cached_objects: int
+    warmup_requests: int
+    used_fast_path: bool = False
+    replay_path: str = "fast"
+    auxiliary_events_fired: int = 0
+    measurement_log: Optional[BandwidthMeasurementLog] = None
+    reactive_shifts: int = 0
+    reactive_rekeys: int = 0
+    reactive_suppressed: int = 0
+    reactive_rekeys_by_server: Dict[int, int] = field(default_factory=dict)
+    fault_report: Optional[FaultReport] = None
+    streaming_report: Optional[StreamingReport] = None
+    hierarchy_report: Optional[HierarchyReport] = None
+    timeline: Optional[MetricsTimeline] = None
+    profile: Optional[Dict[str, Dict[str, float]]] = None
+    heap_statistics: Optional[Dict[str, int]] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten result and headline metrics into one dictionary."""
+        data = self.metrics.as_dict()
+        data.update(
+            {
+                "final_cache_occupancy": self.final_cache_occupancy,
+                "final_cached_objects": float(self.final_cached_objects),
+                "warmup_requests": float(self.warmup_requests),
+            }
+        )
+        return data
+
+
+def _dense_id_bound(trace: ColumnarTrace) -> Optional[int]:
+    """Largest object id when the trace's ids are dense and non-negative.
+
+    Dense means the ids fit a modest lookup table (bounded by a small
+    multiple of the trace length) — true for generated and ingested
+    catalogs, whose ids are 0..N-1.  Returns ``None`` otherwise, sending
+    the replay down the generic loop.
+    """
+    ids = trace.object_ids_array
+    if ids.size == 0:
+        return 0
+    min_id = int(ids.min())
+    max_id = int(ids.max())
+    if min_id >= 0 and max_id < 4 * ids.size + 1024:
+        return max_id
+    return None
+
+
+class ProxyCacheSimulator:
+    """Replay a workload against one policy-managed proxy cache."""
+
+    def __init__(self, workload: Workload, config: Optional[SimulationConfig] = None):
+        self.workload = workload
+        self.config = config or SimulationConfig()
+
+    def build_topology(self, rng: np.random.Generator) -> DeliveryTopology:
+        """Draw per-server base bandwidths and assemble the topology.
+
+        When the config carries a
+        :class:`~repro.sim.config.ClientCloudConfig`, the client cloud's
+        last-mile paths are built here too — from a dedicated generator, so
+        attaching a cloud never perturbs the origin-path draws (the
+        unconstrained-cloud bit-identity of ``tests/test_sim_clients.py``).
+        """
+        topology = DeliveryTopology.build(
+            catalog=self.workload.catalog,
+            cache_capacity_kb=self.config.cache_size_kb,
+            bandwidth_distribution=self.config.bandwidth_distribution,
+            variability=self.config.variability,
+            rng=rng,
+        )
+        floor = self.config.min_path_bandwidth
+        if floor > 0:
+            for path in topology.paths:
+                if path.base_bandwidth < floor:
+                    path.base_bandwidth = floor
+        if self.config.client_clouds is not None:
+            cloud_rng = np.random.default_rng(self._client_cloud_seed(0))
+            topology.clients = self.config.client_clouds.build_cloud(cloud_rng)
+        return topology
+
+    def _client_cloud_seed(self, purpose: int) -> tuple:
+        """Seed of one client-cloud random stream.
+
+        ``purpose`` separates the cloud's two uses of randomness —
+        construction (group base-bandwidth draws, 0) and per-request
+        last-mile variability (1) — so the request-time ratio stream never
+        replays the values that provisioned the groups.
+        """
+        cloud_seed = (
+            self.config.client_clouds.seed
+            if self.config.client_clouds is not None
+            else 0
+        )
+        return (
+            _CLIENT_CLOUD_STREAM_TAG,
+            purpose,
+            self.config.seed & 0xFFFFFFFF,
+            cloud_seed & 0xFFFFFFFF,
+        )
+
+    def schedule_auxiliary_events(
+        self,
+        engine: SimulationEngine,
+        topology: DeliveryTopology,
+        store: CacheStore,
+        collector: MetricsCollector,
+    ) -> None:
+        """Extension hook: schedule non-request events before replay starts.
+
+        Subclasses override this to add periodic bandwidth re-measurement,
+        prefetch completions, consistency timers, etc.  Scheduling anything
+        here makes :meth:`run` take the event-calendar path so the auxiliary
+        events interleave correctly with the request stream; the default
+        (no auxiliary events) lets the replay use the fast path.
+        """
+
+    def build_auxiliary_schedule(
+        self,
+        topology: DeliveryTopology,
+        estimator: Optional[PassiveEstimator],
+        measurement_log: Optional[BandwidthMeasurementLog],
+        rekeyer: Optional[ReactiveRekeyer] = None,
+    ) -> AuxiliarySchedule:
+        """Expand the config's typed periodic events into a schedule.
+
+        Currently this covers periodic bandwidth re-measurement
+        (:attr:`~repro.sim.config.SimulationConfig.remeasurement`), with
+        ``rekeyer`` attached to every stream when the run is reactive
+        (:attr:`~repro.sim.config.SimulationConfig.reactive_threshold`);
+        subclasses adding further *typed* event families extend this and
+        keep access to the columnar event path, whereas arbitrary engine
+        events go through :meth:`schedule_auxiliary_events` and force the
+        classic event-calendar path.
+        """
+        if self.config.remeasurement is None:
+            return AuxiliarySchedule()
+        trace = self.workload.trace
+        return AuxiliarySchedule(
+            build_remeasurement_events(
+                self.config.remeasurement,
+                topology,
+                estimator,
+                measurement_log,
+                trace_start=trace.start_time,
+                trace_end=trace.end_time,
+                base_seed=self.config.seed,
+                listener=rekeyer,
+            )
+        )
+
+    def _last_mile_sequences(
+        self, topology: DeliveryTopology, trace
+    ) -> Optional[tuple]:
+        """Per-request last-mile ``(base, observed, group)`` sequences.
+
+        Returns ``None`` when the topology's client cloud has no modeled
+        last-mile paths — the replay loops then skip the composition
+        entirely, reproducing the pre-heterogeneity arithmetic exactly.
+
+        Otherwise every request is resolved to its client's group path
+        (``client_id % groups``) and three aligned lists are returned: the
+        group's *base* bandwidth (what the cache believes its own last mile
+        sustains — the cache knows its client side, so no estimator is
+        involved), the *observed* last-mile bandwidth for that request
+        (base modulated by the group's variability model), and the
+        request's client-group index (consumed by the reactive rekeyer's
+        per-group anchors; see :mod:`repro.sim.events`).  All draws come
+        from the cloud's dedicated generator, in request order, computed
+        once per run *before* replay starts — which is what makes the
+        composition bit-identical across all four replay paths by
+        construction.
+        """
+        cloud = topology.clients
+        paths = getattr(cloud, "paths", None)
+        if not paths:
+            return None
+        total = len(trace)
+        if isinstance(trace, ColumnarTrace):
+            client_ids = trace.client_ids_array.astype(np.int64, copy=False)
+        else:
+            client_ids = np.fromiter(
+                (request.client_id for request in trace), dtype=np.int64, count=total
+            )
+        groups = client_ids % len(paths)
+        base_lut = np.array([path.base_bandwidth for path in paths], dtype=np.float64)
+        base = base_lut[groups]
+
+        rng = np.random.default_rng(self._client_cloud_seed(1))
+        model = paths[0].variability
+        shared = all(path.variability is model for path in paths)
+        if shared and getattr(model, "iid_batch_equivalent", False) and total:
+            ratios = np.asarray(model.sample_ratio(rng, size=total), dtype=np.float64)
+            observed = base * ratios
+            np.maximum(observed, 1.0, out=observed)
+        else:
+            observed = np.empty(total, dtype=np.float64)
+            group_list = groups.tolist()
+            for index in range(total):
+                observed[index] = paths[group_list[index]].observed_bandwidth(rng)
+        return base.tolist(), observed.tolist(), groups.tolist()
+
+    def _pop_sequence(self, trace) -> Optional[List[int]]:
+        """Per-request pop indices (``client_id % num_pops``), resolved once.
+
+        Mirrors the affinity rule of :meth:`_last_mile_sequences` (clients
+        are pinned by id modulo the replica count).  Returns ``None`` for a
+        single-pop hierarchy so the replay loops skip the lookup entirely.
+        """
+        num_pops = self.config.hierarchy.num_pops
+        if num_pops <= 1:
+            return None
+        if isinstance(trace, ColumnarTrace):
+            return (
+                trace.client_ids_array.astype(np.int64, copy=False) % num_pops
+            ).tolist()
+        return [request.client_id % num_pops for request in trace]
+
+    def run(
+        self,
+        policy,
+        topology: Optional[DeliveryTopology] = None,
+        use_fast_path: Optional[bool] = None,
+        replay: Optional[str] = None,
+    ) -> SimulationResult:
+        """Run the simulation for one policy.
+
+        Parameters
+        ----------
+        policy:
+            Any object with the :class:`~repro.core.policies.base.CachePolicy`
+            interface (``name``, ``on_request``) — including
+            :class:`~repro.core.policies.optimal.StaticAllocationPolicy`.
+        topology:
+            Optionally reuse a pre-built topology so several policies can be
+            compared on *identical* bandwidth assignments; when omitted a new
+            topology is drawn from the config's seed.
+        use_fast_path:
+            Legacy boolean view of ``replay``: ``True`` maps to
+            ``replay="fast"``, ``False`` to ``replay="event"``.  Ignored
+            when ``replay`` is given.
+        replay:
+            Which replay loop to use — one of :data:`REPLAY_PATHS`.
+            ``None``/``"auto"`` (default) picks automatically: the fast
+            path when no auxiliary events exist, the columnar event path
+            when only *typed* periodic events are scheduled over a dense-id
+            columnar trace, the classic event-calendar path otherwise.
+            Forcing ``"fast"`` raises
+            :class:`~repro.exceptions.SimulationError` if auxiliary events
+            would be dropped; forcing ``"columnar-event"`` raises unless
+            the workload trace is dense columnar and no untyped engine
+            events are scheduled.  All paths produce bit-identical metrics.
+        """
+        obs = self.config.observability
+        profiler: Optional[StageProfiler] = None
+        sink: Optional[TraceSink] = None
+        if obs is not None and obs.profile:
+            profiler = StageProfiler()
+        if obs is not None and obs.trace_path is not None:
+            sink = TraceSink(
+                obs.trace_path, level=obs.trace_level, sample=obs.trace_sample
+            )
+
+        rng = np.random.default_rng(self.config.seed)
+        if topology is None:
+            if profiler is not None:
+                with profiler.stage("topology_build"):
+                    topology = self.build_topology(rng)
+            else:
+                topology = self.build_topology(rng)
+
+        if sink is not None:
+            store: CacheStore = ObservedCacheStore(self.config.cache_size_kb, sink)
+        else:
+            store = CacheStore(self.config.cache_size_kb)
+        hierarchy: Optional[HierarchyEngine] = None
+        if self.config.hierarchy is not None:
+            # The run policy's registry name seeds the per-tier policy
+            # instances; the instance itself is never installed — each
+            # tier owns a fresh policy on its own store.
+            hierarchy = HierarchyEngine(
+                self.config.hierarchy,
+                self.workload.catalog,
+                default_policy=getattr(policy, "name", type(policy).__name__),
+            )
+        elif hasattr(policy, "install"):
+            policy.install(store, self.workload.catalog)
+
+        streaming: Optional[StreamingDeliveryEngine] = None
+        if self.config.streaming is not None:
+            streaming = StreamingDeliveryEngine(
+                self.config.streaming,
+                self.workload.catalog,
+                store,
+                sim_seed=self.config.seed,
+            )
+            # Heap-engine policies get the segment-aware admission /
+            # trimming hooks for the run; policies without the hooks
+            # (e.g. static allocations) still serve sessions, they just
+            # keep their own byte targets.
+            if hasattr(policy, "stream_quantize"):
+                policy.stream_quantize = streaming.admission_target
+                if self.config.streaming.prefix_caching:
+                    policy.stream_trim = streaming.trim_victim
+
+        collector = MetricsCollector()
+        estimator: Optional[PassiveEstimator] = None
+        if self.config.bandwidth_knowledge is BandwidthKnowledge.PASSIVE:
+            estimator = PassiveEstimator(smoothing=self.config.passive_smoothing)
+
+        measurement_log: Optional[BandwidthMeasurementLog] = None
+        if self.config.remeasurement is not None:
+            measurement_log = BandwidthMeasurementLog()
+        rekeyer: Optional[ReactiveRekeyer] = None
+        if (
+            self.config.reactive_threshold is not None
+            and estimator is not None
+            and hasattr(policy, "on_bandwidth_shift")
+        ):
+            # With a modeled client cloud, a request from group g never
+            # believes more than that group's last-mile base; the rekeyer
+            # keeps one anchor per (server, group) view so shift detection
+            # and heap keys stay consistent with the per-request
+            # composition.  An all-inf cloud degrades to the uncapped view.
+            group_caps = topology.last_mile_caps()
+            if group_caps is not None and all(
+                cap == float("inf") for cap in group_caps
+            ):
+                group_caps = None
+            rekeyer = ReactiveRekeyer(
+                policy,
+                estimator,
+                self.config.reactive_threshold,
+                group_caps=group_caps,
+                hysteresis=self.config.reactive_hysteresis,
+                rekey_cap=self.config.reactive_rekey_cap,
+                group_estimation=(
+                    self.config.client_clouds is not None
+                    and self.config.client_clouds.estimate_last_mile
+                ),
+            )
+        schedule = self.build_auxiliary_schedule(
+            topology, estimator, measurement_log, rekeyer
+        )
+
+        trace = self.workload.trace
+        total_requests = len(trace)
+        warmup_cutoff = int(self.config.warmup_fraction * total_requests)
+        if warmup_cutoff == 0:
+            collector.measuring = True
+
+        injector: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            fault_schedule = self.config.faults.build_schedule(
+                topology,
+                trace_start=trace.start_time,
+                trace_end=trace.end_time,
+                base_seed=self.config.seed,
+            )
+            injector = FaultInjector(
+                fault_schedule, self.config.faults, estimator=estimator
+            )
+
+        timeline: Optional[MetricsTimeline] = None
+        if obs is not None and obs.timeline:
+            timeline = MetricsTimeline(
+                obs.window_s, trace.start_time if total_requests else 0.0
+            )
+            timeline.bind(
+                store=store if hierarchy is None else hierarchy.primary_edge_store,
+                rekeyer=rekeyer,
+                injector=injector,
+                streaming=streaming,
+            )
+        if sink is not None:
+            if rekeyer is not None:
+                rekeyer.trace = sink
+            if injector is not None:
+                injector.trace = sink
+
+        engine = SimulationEngine()
+        self.schedule_auxiliary_events(engine, topology, store, collector)
+        have_hook_events = len(engine.queue) > 0
+        have_typed_events = bool(schedule)
+        dense_bound = (
+            _dense_id_bound(trace) if isinstance(trace, ColumnarTrace) else None
+        )
+
+        mode = self._resolve_replay_path(
+            replay, use_fast_path, have_hook_events, have_typed_events, dense_bound
+        )
+
+        last_mile = self._last_mile_sequences(topology, trace)
+        pops = self._pop_sequence(trace) if hierarchy is not None else None
+        # Passive-driven re-keying: the replay loops notify the rekeyer
+        # after every request's estimator update (docs/events.md).
+        passive_rekeyer = rekeyer if self.config.reactive_passive else None
+
+        if profiler is not None:
+            # Instance-attribute wrappers shadow the bound methods the
+            # replay loops localise; detach_all() removes them again so
+            # profiling leaves no trace on the shared objects.
+            profiler.attach(policy, "on_request", "policy_ops")
+            if estimator is not None:
+                profiler.attach(estimator, "estimate", "estimator")
+                profiler.attach(estimator, "observe", "estimator")
+            if injector is not None:
+                profiler.attach(injector, "intercept", "fault_evaluation")
+
+        if sink is not None:
+            sink.emit(
+                "info",
+                "run-start",
+                trace.start_time if total_requests else 0.0,
+                policy=getattr(policy, "name", type(policy).__name__),
+                replay=mode,
+                seed=self.config.seed,
+                requests=total_requests,
+            )
+
+        replay_started = _time.perf_counter() if profiler is not None else 0.0
+        try:
+            if mode == "fast":
+                self._replay_fast(
+                    policy,
+                    topology,
+                    store,
+                    collector,
+                    estimator,
+                    rng,
+                    warmup_cutoff,
+                    last_mile,
+                    passive_rekeyer,
+                    injector,
+                    timeline,
+                    streaming,
+                    hierarchy,
+                    pops,
+                )
+            elif mode == "columnar-event":
+                self._replay_events_columnar(
+                    schedule,
+                    policy,
+                    topology,
+                    store,
+                    collector,
+                    estimator,
+                    rng,
+                    warmup_cutoff,
+                    dense_bound,
+                    last_mile,
+                    passive_rekeyer,
+                    injector,
+                    timeline,
+                    streaming,
+                    hierarchy,
+                    pops,
+                )
+            else:
+                schedule.schedule_into(engine)
+                self._replay_events(
+                    engine,
+                    policy,
+                    topology,
+                    store,
+                    collector,
+                    estimator,
+                    rng,
+                    warmup_cutoff,
+                    last_mile,
+                    passive_rekeyer,
+                    injector,
+                    timeline,
+                    streaming,
+                    hierarchy,
+                    pops,
+                )
+
+            if timeline is not None:
+                timeline.finish(
+                    trace.end_time if total_requests else 0.0,
+                    collector.snapshot(),
+                )
+
+            metrics = collector.finalize()
+            if sink is not None:
+                sink.emit(
+                    "info",
+                    "run-end",
+                    trace.end_time if total_requests else 0.0,
+                    requests=metrics.requests,
+                    hit_ratio=metrics.hit_ratio,
+                    byte_hit_ratio=metrics.byte_hit_ratio,
+                    evictions=store.evictions,
+                )
+        finally:
+            if streaming is not None and hasattr(policy, "stream_quantize"):
+                policy.stream_quantize = None
+                policy.stream_trim = None
+            if profiler is not None:
+                profiler.add("replay", _time.perf_counter() - replay_started)
+                profiler.detach_all()
+            if sink is not None:
+                sink.close()
+            if rekeyer is not None:
+                rekeyer.trace = None
+            if injector is not None:
+                injector.trace = None
+
+        return SimulationResult(
+            metrics=metrics,
+            policy_name=getattr(policy, "name", type(policy).__name__),
+            config=self.config,
+            final_cache_occupancy=(
+                store.occupancy if hierarchy is None else hierarchy.final_occupancy()
+            ),
+            final_cached_objects=(
+                len(store) if hierarchy is None else hierarchy.total_cached_objects()
+            ),
+            warmup_requests=collector.warmup_requests,
+            used_fast_path=mode == "fast",
+            replay_path=mode,
+            auxiliary_events_fired=schedule.fired,
+            measurement_log=measurement_log,
+            reactive_shifts=rekeyer.shifts if rekeyer is not None else 0,
+            reactive_rekeys=rekeyer.entries_rekeyed if rekeyer is not None else 0,
+            reactive_suppressed=rekeyer.suppressed if rekeyer is not None else 0,
+            reactive_rekeys_by_server=(
+                dict(rekeyer.rekeys_by_server) if rekeyer is not None else {}
+            ),
+            fault_report=injector.report() if injector is not None else None,
+            streaming_report=streaming.report() if streaming is not None else None,
+            hierarchy_report=hierarchy.report() if hierarchy is not None else None,
+            timeline=timeline,
+            profile=profiler.report() if profiler is not None else None,
+            heap_statistics=(
+                policy.heap_statistics()
+                if hierarchy is None and hasattr(policy, "heap_statistics")
+                else None
+            ),
+        )
+
+    @staticmethod
+    def _resolve_replay_path(
+        replay: Optional[str],
+        use_fast_path: Optional[bool],
+        have_hook_events: bool,
+        have_typed_events: bool,
+        dense_bound: Optional[int],
+    ) -> str:
+        """Pick the replay loop from the request and the scheduled events."""
+        if replay is None:
+            replay = {None: "auto", True: "fast", False: "event"}[use_fast_path]
+        if replay not in REPLAY_PATHS:
+            raise SimulationError(
+                f"unknown replay path {replay!r}; expected one of {REPLAY_PATHS}"
+            )
+        if replay == "auto":
+            if have_hook_events:
+                return "event"
+            if have_typed_events:
+                return "columnar-event" if dense_bound is not None else "event"
+            return "fast"
+        if replay == "fast" and (have_hook_events or have_typed_events):
+            raise SimulationError(
+                "replay='fast' but auxiliary events are scheduled; "
+                "the fast path would not dispatch them"
+            )
+        if replay == "columnar-event":
+            if have_hook_events:
+                raise SimulationError(
+                    "replay='columnar-event' cannot dispatch untyped events "
+                    "from schedule_auxiliary_events; use replay='event'"
+                )
+            if dense_bound is None:
+                raise SimulationError(
+                    "replay='columnar-event' requires a dense-id ColumnarTrace "
+                    "workload; use replay='event' for this trace"
+                )
+        return replay
+
+    # ------------------------------------------------------------------
+    # The event-calendar replay path.
+    # ------------------------------------------------------------------
+    def _replay_events(
+        self,
+        engine: SimulationEngine,
+        policy,
+        topology: DeliveryTopology,
+        store: CacheStore,
+        collector: MetricsCollector,
+        estimator: Optional[PassiveEstimator],
+        rng: np.random.Generator,
+        warmup_cutoff: int,
+        last_mile: Optional[tuple] = None,
+        rekeyer: Optional[ReactiveRekeyer] = None,
+        injector: Optional[FaultInjector] = None,
+        timeline: Optional[MetricsTimeline] = None,
+        streaming: Optional[StreamingDeliveryEngine] = None,
+        hierarchy: Optional[HierarchyEngine] = None,
+        pops: Optional[List[int]] = None,
+    ) -> None:
+        """Dispatch every request through the discrete-event engine.
+
+        ``last_mile`` (from :meth:`_last_mile_sequences`) composes the
+        cache-to-client hop into each request: the delivered bandwidth is
+        the bottleneck of the origin draw and the client's last-mile draw,
+        and the bandwidth the policy believes is capped by the client
+        group's last-mile base.  The passive estimator keeps observing the
+        *origin* draw — it estimates the cache-to-server hop, which the
+        cache cannot conflate with its own (known) client side.  ``rekeyer``
+        (set when the run is passive-driven reactive) is notified after the
+        estimator update, in the same position on every replay path.
+
+        ``injector`` (set when the config has
+        :attr:`~repro.sim.config.SimulationConfig.faults`) intercepts every
+        fetch *after* the bandwidth draws and belief lookup, at the same
+        sequence point as the tight loops: an untouched request runs the
+        exact pre-fault code below, a degraded/retried one folds its
+        backoff wait into the service delay, and a failed fetch serves the
+        cached prefix stale (or fails) without consulting the policy — an
+        unreachable origin has nothing to admit.
+
+        ``streaming`` (set when the config has
+        :attr:`~repro.sim.config.SimulationConfig.streaming`) serves
+        stream-object requests as segment-aware delivery sessions through
+        the shared :class:`~repro.sim.streaming.StreamingDeliveryEngine`
+        at this same sequence point — the policy / estimator / rekeyer
+        calls that follow are untouched, which is what keeps the QoE
+        metrics bit-identical across all four replay paths.
+
+        ``hierarchy`` (set when the config has
+        :attr:`~repro.sim.config.SimulationConfig.hierarchy`) routes every
+        successful fetch through the shared
+        :class:`~repro.sim.hierarchy.HierarchyEngine` at the same sequence
+        point on every path: the engine resolves the client's pop
+        (``pops``, or pop 0 throughout), reads the edge residency, walks
+        the miss up the tier chain (or to a sibling pop), runs each
+        consulted tier's own policy, and hands back the ``(cached,
+        bandwidth)`` pair the delivery arithmetic below consumes — so the
+        single-proxy ``policy.on_request`` is skipped.  Failed fetches
+        serve stale from the client's edge cache.
+        """
+        catalog = self.workload.catalog
+        stream_ids = streaming.stream_ids if streaming is not None else None
+        lm_base, lm_observed, lm_groups = (
+            last_mile if last_mile is not None else (None, None, None)
+        )
+        # Timeline boundary: the engine fires same-time auxiliary events
+        # (negative priority) before the request handler, so a snapshot at
+        # the top of handle_request sits at exactly the sequence point the
+        # columnar loops snapshot at (after fire_before, before warm-up
+        # flip) — that is what makes the markers path-identical.
+        tl_boundary = timeline.first_boundary if timeline is not None else float("inf")
+
+        def handle_request(engine: SimulationEngine, payload) -> None:
+            nonlocal tl_boundary
+            index, request = payload
+            if request.time >= tl_boundary:
+                tl_boundary = timeline.close(request.time, collector.snapshot())
+            if index == warmup_cutoff:
+                collector.measuring = True
+            obj = catalog.get(request.object_id)
+            path = topology.path_for(obj)
+            observed_bandwidth = path.observed_bandwidth(rng)
+            origin_observed = observed_bandwidth
+            lm_draw = None
+            if lm_observed is not None:
+                lm_draw = lm_observed[index]
+                if lm_draw < observed_bandwidth:
+                    observed_bandwidth = lm_draw
+            if estimator is not None:
+                believed_bandwidth = estimator.estimate(obj.server_id)
+            else:
+                believed_bandwidth = path.base_bandwidth
+            prior_estimate = believed_bandwidth
+            if lm_base is not None:
+                cap = lm_base[index]
+                if cap < believed_bandwidth:
+                    believed_bandwidth = cap
+            group = lm_groups[index] if lm_groups is not None else None
+
+            disposition = None
+            if injector is not None:
+                disposition = injector.intercept(
+                    engine.now, obj.server_id, group, origin_observed, lm_draw
+                )
+
+            if disposition is None or disposition[0] == FETCH_OK:
+                if disposition is not None:
+                    observed_bandwidth = disposition[1]
+                    origin_observed = disposition[2]
+                if stream_ids is not None and request.object_id in stream_ids:
+                    s_cache, s_server, s_delay, s_quality, s_full = streaming.serve(
+                        obj.object_id,
+                        observed_bandwidth,
+                        engine.now,
+                        collector.measuring,
+                        disposition[3] if disposition is not None else 0.0,
+                    )
+                    collector.record_streaming(
+                        obj.object_id,
+                        s_cache,
+                        s_server,
+                        s_delay,
+                        s_quality,
+                        obj.value,
+                        s_full,
+                        disposition[4] if disposition is not None else 0,
+                    )
+                else:
+                    if hierarchy is not None:
+                        cached_before, observed_bandwidth = hierarchy.serve(
+                            pops[index] if pops is not None else 0,
+                            obj.object_id,
+                            obj,
+                            obj.size,
+                            observed_bandwidth,
+                            lm_draw,
+                            believed_bandwidth,
+                            prior_estimate,
+                            engine.now,
+                            collector.measuring,
+                        )
+                    else:
+                        cached_before = store.cached_bytes(obj.object_id)
+                    outcome = DeliverySession(
+                        obj, cached_before, observed_bandwidth
+                    ).outcome()
+                    if disposition is None:
+                        collector.record(outcome)
+                    else:
+                        delay = outcome.service_delay
+                        waited = disposition[3]
+                        if waited > 0.0:
+                            delay = delay + waited
+                        collector.record_served_fault(
+                            obj.object_id,
+                            outcome.bytes_from_cache,
+                            outcome.bytes_from_server,
+                            delay,
+                            outcome.stream_quality,
+                            outcome.value,
+                            disposition[4],
+                        )
+                if hierarchy is None:
+                    policy.on_request(obj, believed_bandwidth, engine.now, store)
+                if estimator is not None:
+                    estimator.observe(obj.server_id, origin_observed)
+                    if rekeyer is not None:
+                        rekeyer.observe_request(
+                            engine.now,
+                            obj.server_id,
+                            group,
+                            prior_estimate,
+                            observed_bandwidth,
+                        )
+            else:
+                # Fetch failed after the retry budget: serve the cached
+                # prefix stale, or fail the request outright.
+                if hierarchy is not None:
+                    cached = hierarchy.edge_cached(
+                        pops[index] if pops is not None else 0, obj.object_id
+                    )
+                else:
+                    cached = store.cached_bytes(obj.object_id)
+                size = obj.size
+                if cached > size:
+                    cached = size
+                stale = injector.serve_stale and cached > 0.0
+                injector.record_unserved(stale)
+                waited = disposition[3]
+                quality = (
+                    stale_quality(cached, obj.duration, obj.bitrate, 1.0 / obj.layers)
+                    if stale
+                    else 0.0
+                )
+                collector.record_unserved(
+                    obj.object_id,
+                    cached,
+                    waited,
+                    quality,
+                    disposition[4],
+                    stale,
+                )
+                if (
+                    stream_ids is not None
+                    and request.object_id in stream_ids
+                    and collector.measuring
+                ):
+                    streaming.record_failed(waited, quality)
+                # No policy.on_request: the origin is unreachable, so
+                # there is nothing to fetch or admit.  The estimator still
+                # observes the collapsed sample — that is how the reactive
+                # machinery sees the outage.
+                if estimator is not None:
+                    estimator.observe(obj.server_id, disposition[2])
+                    if rekeyer is not None:
+                        rekeyer.observe_request(
+                            engine.now,
+                            obj.server_id,
+                            group,
+                            prior_estimate,
+                            disposition[1],
+                        )
+            if self.config.verify_store and not (
+                store.verify_consistency()
+                if hierarchy is None
+                else hierarchy.verify_consistency()
+            ):
+                raise AssertionError(
+                    "cache store accounting became inconsistent "
+                    f"after request {index} (object {obj.object_id})"
+                )
+
+        for index, request in enumerate(self.workload.trace):
+            engine.schedule(request.time, handle_request, (index, request))
+        engine.run()
+
+    # ------------------------------------------------------------------
+    # The fast replay path.
+    # ------------------------------------------------------------------
+    def _predraw_ratios(
+        self, topology: DeliveryTopology, rng: np.random.Generator, count: int
+    ) -> Optional[np.ndarray]:
+        """Draw all per-request variability ratios in one numpy batch.
+
+        Only legal when every path shares one variability model whose batched
+        draws consume the generator exactly like per-request draws
+        (``iid_batch_equivalent``); returns ``None`` otherwise, in which case
+        the fast path falls back to per-request sampling.
+        """
+        model = None
+        for path in topology.paths:
+            if model is None:
+                model = path.variability
+            elif path.variability is not model:
+                return None
+        if model is None or not getattr(model, "iid_batch_equivalent", False):
+            return None
+        if count == 0:
+            return np.empty(0)
+        return np.asarray(model.sample_ratio(rng, size=count), dtype=np.float64)
+
+    def _replay_fast(
+        self,
+        policy,
+        topology: DeliveryTopology,
+        store: CacheStore,
+        collector: MetricsCollector,
+        estimator: Optional[PassiveEstimator],
+        rng: np.random.Generator,
+        warmup_cutoff: int,
+        last_mile: Optional[tuple] = None,
+        rekeyer: Optional[ReactiveRekeyer] = None,
+        injector: Optional[FaultInjector] = None,
+        timeline: Optional[MetricsTimeline] = None,
+        streaming: Optional[StreamingDeliveryEngine] = None,
+        hierarchy: Optional[HierarchyEngine] = None,
+        pops: Optional[List[int]] = None,
+    ) -> None:
+        """Iterate the trace in a tight loop, bypassing the event calendar.
+
+        Replicates the per-request arithmetic of
+        :class:`~repro.streaming.session.DeliverySession` and
+        :meth:`~repro.sim.metrics.MetricsCollector.record` operation-for-
+        operation (same floating-point order), so the resulting metrics are
+        bit-identical to the event path's.  Warm-up requests skip the
+        delivery-outcome arithmetic entirely — their outcomes are never
+        recorded — and all metric sums accumulate in locals, merged into the
+        collector once at the end.  ``last_mile`` composes the per-client
+        hop exactly as in :meth:`_replay_events`.
+        """
+        catalog = self.workload.catalog
+        trace = self.workload.trace
+
+        # Dense columnar traces take the dedicated array-native loop.
+        is_columnar = isinstance(trace, ColumnarTrace)
+        if is_columnar:
+            max_id = _dense_id_bound(trace)
+            if max_id is not None:
+                return self._replay_fast_columnar(
+                    policy,
+                    topology,
+                    store,
+                    collector,
+                    estimator,
+                    rng,
+                    warmup_cutoff,
+                    max_id,
+                    last_mile,
+                    rekeyer,
+                    injector,
+                    timeline,
+                    streaming,
+                    hierarchy,
+                    pops,
+                )
+
+        ratio_array = self._predraw_ratios(topology, rng, len(trace))
+
+        # Localise everything touched per request.
+        catalog_get = catalog.get
+        path_for = topology.path_for
+        store_cached = store.cached_bytes
+        policy_on_request = policy.on_request
+        estimator_estimate = estimator.estimate if estimator is not None else None
+        estimator_observe = estimator.observe if estimator is not None else None
+        verify_store = self.config.verify_store
+        verify_consistency = (
+            store.verify_consistency if hierarchy is None else hierarchy.verify_consistency
+        )
+        hier_serve = hierarchy.serve if hierarchy is not None else None
+        hier_edge = hierarchy.edge_cached if hierarchy is not None else None
+        inf = float("inf")
+
+        # Per-object resolution cache: (obj, base_bw, size, duration,
+        # bitrate, quantum, value, server_id).  ``base_bw`` is immutable for
+        # the duration of a run (the floor from build_topology is applied
+        # before replay starts), so caching it is safe.
+        resolved: Dict[int, tuple] = {}
+        ratios = ratio_array.tolist() if ratio_array is not None else None
+        lm_base, lm_observed, lm_groups = (
+            last_mile if last_mile is not None else (None, None, None)
+        )
+        rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
+        intercept = injector.intercept if injector is not None else None
+        serve_stale = injector.serve_stale if injector is not None else False
+        stream_serve = streaming.serve if streaming is not None else None
+        stream_failed = streaming.record_failed if streaming is not None else None
+        stream_ids = streaming.stream_ids if streaming is not None else None
+
+        measuring = collector.measuring
+        m_requests = 0
+        m_bytes_cache = 0.0
+        m_bytes_server = 0.0
+        m_delay = 0.0
+        m_quality = 0.0
+        m_value = 0.0
+        m_hits = 0
+        m_immediate = 0
+        m_delayed = 0
+        m_delay_delayed = 0.0
+        m_failed = 0
+        m_stale = 0
+        m_retried = 0
+        m_retries = 0
+        warmup_count = 0
+        hits_by_object: Dict[int, int] = {}
+
+        # Timeline boundary check: one float compare per request; with no
+        # timeline the boundary is +inf and the branch never runs.  The
+        # snapshot tuple is built inline — a helper closing over the m_*
+        # locals would turn them into cell variables and slow the whole
+        # loop even when the timeline is disabled.
+        tl_close = timeline.close if timeline is not None else None
+        tl_boundary = timeline.first_boundary if timeline is not None else inf
+
+        # Pre-extract the two request fields the loop needs.  A non-dense
+        # columnar trace hands its arrays over directly (one batch
+        # ``tolist`` per column, native scalars, no Request boxing); an
+        # object trace pays one attribute-access pass, which on 10^5-10^6
+        # Request objects adds up.
+        if is_columnar:
+            # Lazy zip on purpose: consuming it in the loop is cheaper than
+            # materializing 10^5-10^6 fresh tuples up front.
+            request_fields = zip(
+                trace.object_ids_array.tolist(), trace.times_array.tolist()
+            )
+        else:
+            request_fields = [(request.object_id, request.time) for request in trace]
+
+        for index, (object_id, req_time) in enumerate(request_fields):
+            if req_time >= tl_boundary:
+                tl_boundary = tl_close(
+                    req_time,
+                    (
+                        m_requests,
+                        m_bytes_cache,
+                        m_bytes_server,
+                        m_delay,
+                        m_quality,
+                        m_value,
+                        m_hits,
+                        m_immediate,
+                        m_delayed,
+                        m_delay_delayed,
+                        m_failed,
+                        m_stale,
+                        m_retried,
+                        m_retries,
+                    ),
+                )
+            if index == warmup_cutoff:
+                measuring = True
+            entry = resolved.get(object_id)
+            if entry is None:
+                obj = catalog_get(object_id)
+                path = path_for(obj)
+                entry = (
+                    obj,
+                    path.base_bandwidth,
+                    obj.duration * obj.bitrate,
+                    obj.duration,
+                    obj.bitrate,
+                    1.0 / obj.layers,
+                    obj.value,
+                    obj.server_id,
+                    path,
+                )
+                resolved[object_id] = entry
+            obj, base_bw, size, duration, bitrate, quantum, value, server_id, path = entry
+
+            if ratios is not None:
+                observed = base_bw * ratios[index]
+                if observed < 1.0:
+                    observed = 1.0
+            else:
+                observed = path.observed_bandwidth(rng)
+            origin_observed = observed
+            if lm_observed is not None:
+                cap = lm_observed[index]
+                if cap < observed:
+                    observed = cap
+
+            if estimator_estimate is not None:
+                believed = estimator_estimate(server_id)
+            else:
+                believed = base_bw
+            prior_estimate = believed
+            if lm_base is not None:
+                cap = lm_base[index]
+                if cap < believed:
+                    believed = cap
+
+            disposition = None
+            if intercept is not None:
+                disposition = intercept(
+                    req_time,
+                    server_id,
+                    lm_groups[index] if lm_groups is not None else None,
+                    origin_observed,
+                    lm_observed[index] if lm_observed is not None else None,
+                )
+
+            if hier_serve is None:
+                cached = store_cached(object_id)
+
+            if disposition is None or disposition[0] == 0:  # FETCH_OK
+                if disposition is not None:
+                    observed = disposition[1]
+                    origin_observed = disposition[2]
+                if hier_serve is not None:
+                    cached, observed = hier_serve(
+                        pops[index] if pops is not None else 0,
+                        object_id,
+                        obj,
+                        size,
+                        observed,
+                        lm_observed[index] if lm_observed is not None else None,
+                        believed,
+                        prior_estimate,
+                        req_time,
+                        measuring,
+                    )
+                if stream_serve is not None and object_id in stream_ids:
+                    # Segment-aware session through the shared streaming
+                    # engine; the accumulation below mirrors
+                    # MetricsCollector.record_streaming() operation-for-
+                    # operation.
+                    s_cache, s_server, s_delay, s_quality, s_full = stream_serve(
+                        object_id,
+                        observed,
+                        req_time,
+                        measuring,
+                        disposition[3] if disposition is not None else 0.0,
+                    )
+                    if measuring:
+                        m_requests += 1
+                        m_bytes_cache += s_cache
+                        m_bytes_server += s_server
+                        m_delay += s_delay
+                        m_quality += s_quality
+                        if s_delay <= 0.0:
+                            if s_full:
+                                m_value += value
+                            m_immediate += 1
+                        else:
+                            m_delayed += 1
+                            m_delay_delayed += s_delay
+                        if s_cache > 0:
+                            m_hits += 1
+                            hits_by_object[object_id] = (
+                                hits_by_object.get(object_id, 0) + 1
+                            )
+                        if disposition is not None and disposition[4]:
+                            m_retried += 1
+                            m_retries += disposition[4]
+                    else:
+                        warmup_count += 1
+                elif measuring:
+                    # DeliverySession.outcome(), inlined with identical
+                    # floating-point operation order.
+                    if cached > size:
+                        cached = size
+                    missing = size - duration * observed - cached
+                    if missing <= 0:
+                        delay = 0.0
+                    elif observed <= 0:
+                        delay = inf
+                    else:
+                        delay = missing / observed
+                    supported_rate = cached / duration + (
+                        observed if observed > 0.0 else 0.0
+                    )
+                    fraction = supported_rate / bitrate
+                    if fraction >= 1.0:
+                        quality = 1.0
+                    else:
+                        quality = int(fraction / quantum + 1e-9) * quantum
+                    if disposition is not None and disposition[3] > 0.0:
+                        # Retry backoff delays playout start.
+                        delay = delay + disposition[3]
+
+                    # MetricsCollector.record(), inlined in the same order.
+                    m_requests += 1
+                    m_bytes_cache += cached
+                    m_bytes_server += size - cached
+                    m_delay += delay
+                    m_quality += quality
+                    if delay <= 0.0:
+                        m_value += value
+                        m_immediate += 1
+                    else:
+                        m_delayed += 1
+                        m_delay_delayed += delay
+                    if cached > 0:
+                        m_hits += 1
+                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                    if disposition is not None and disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                else:
+                    warmup_count += 1
+
+                if hier_serve is None:
+                    policy_on_request(obj, believed, req_time, store)
+                if estimator_observe is not None:
+                    estimator_observe(server_id, origin_observed)
+                    if rekeyer_request is not None:
+                        rekeyer_request(
+                            req_time,
+                            server_id,
+                            lm_groups[index] if lm_groups is not None else None,
+                            prior_estimate,
+                            observed,
+                        )
+            else:
+                # Fetch failed after the retry budget: serve the cached
+                # prefix stale, or fail the request outright.  No
+                # policy_on_request — the origin is unreachable, so there
+                # is nothing to fetch or admit.
+                if hier_edge is not None:
+                    cached = hier_edge(
+                        pops[index] if pops is not None else 0, object_id
+                    )
+                if cached > size:
+                    cached = size
+                stale = serve_stale and cached > 0.0
+                injector.record_unserved(stale)
+                if measuring:
+                    waited = disposition[3]
+                    m_requests += 1
+                    if stale:
+                        sq = stale_quality(cached, duration, bitrate, quantum)
+                        m_bytes_cache += cached
+                        m_quality += sq
+                        m_hits += 1
+                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                        m_stale += 1
+                    else:
+                        sq = 0.0
+                        m_failed += 1
+                    m_delay += waited
+                    m_delayed += 1
+                    m_delay_delayed += waited
+                    if disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                    if stream_failed is not None and object_id in stream_ids:
+                        stream_failed(waited, sq)
+                else:
+                    warmup_count += 1
+                if estimator_observe is not None:
+                    estimator_observe(server_id, disposition[2])
+                    if rekeyer_request is not None:
+                        rekeyer_request(
+                            req_time,
+                            server_id,
+                            lm_groups[index] if lm_groups is not None else None,
+                            prior_estimate,
+                            disposition[1],
+                        )
+            if verify_store and not verify_consistency():
+                raise AssertionError(
+                    "cache store accounting became inconsistent "
+                    f"after request {index} (object {object_id})"
+                )
+
+        collector.measuring = measuring
+        collector.absorb(
+            requests=m_requests,
+            bytes_from_cache=m_bytes_cache,
+            bytes_from_server=m_bytes_server,
+            delay_sum=m_delay,
+            quality_sum=m_quality,
+            value_sum=m_value,
+            hits=m_hits,
+            immediate=m_immediate,
+            delayed=m_delayed,
+            delay_sum_delayed=m_delay_delayed,
+            warmup_requests=warmup_count,
+            failed=m_failed,
+            stale_served=m_stale,
+            retried=m_retried,
+            total_retries=m_retries,
+            per_object_hits=hits_by_object,
+        )
+
+    # ------------------------------------------------------------------
+    # The columnar fast replay path.
+    # ------------------------------------------------------------------
+    def _replay_fast_columnar(
+        self,
+        policy,
+        topology: DeliveryTopology,
+        store: CacheStore,
+        collector: MetricsCollector,
+        estimator: Optional[PassiveEstimator],
+        rng: np.random.Generator,
+        warmup_cutoff: int,
+        max_id: int,
+        last_mile: Optional[tuple] = None,
+        rekeyer: Optional[ReactiveRekeyer] = None,
+        injector: Optional[FaultInjector] = None,
+        timeline: Optional[MetricsTimeline] = None,
+        streaming: Optional[StreamingDeliveryEngine] = None,
+        hierarchy: Optional[HierarchyEngine] = None,
+        pops: Optional[List[int]] = None,
+    ) -> None:
+        """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
+
+        This is :meth:`_replay_events_columnar` with an empty auxiliary
+        schedule: the event merge degenerates to one list-truthiness check
+        per request, so a single loop serves both the columnar fast path
+        and the columnar event path — one copy of the bit-identical
+        arithmetic to maintain instead of two.
+        """
+        self._replay_events_columnar(
+            AuxiliarySchedule(),
+            policy,
+            topology,
+            store,
+            collector,
+            estimator,
+            rng,
+            warmup_cutoff,
+            max_id,
+            last_mile,
+            rekeyer,
+            injector,
+            timeline,
+            streaming,
+            hierarchy,
+            pops,
+        )
+
+    # ------------------------------------------------------------------
+    # The columnar event path: array-native replay + auxiliary events.
+    # ------------------------------------------------------------------
+    def _replay_events_columnar(
+        self,
+        schedule: AuxiliarySchedule,
+        policy,
+        topology: DeliveryTopology,
+        store: CacheStore,
+        collector: MetricsCollector,
+        estimator: Optional[PassiveEstimator],
+        rng: np.random.Generator,
+        warmup_cutoff: int,
+        max_id: int,
+        last_mile: Optional[tuple] = None,
+        rekeyer: Optional[ReactiveRekeyer] = None,
+        injector: Optional[FaultInjector] = None,
+        timeline: Optional[MetricsTimeline] = None,
+        streaming: Optional[StreamingDeliveryEngine] = None,
+        hierarchy: Optional[HierarchyEngine] = None,
+        pops: Optional[List[int]] = None,
+    ) -> None:
+        """Event-capable replay over a dense-id columnar trace.
+
+        Iterates the trace's numpy columns directly — no per-event
+        ``Request`` or ``Event`` boxing — while merging the typed auxiliary
+        events of ``schedule`` into the request stream by ``(time,
+        priority)``, exactly as the discrete-event engine orders them
+        (auxiliary priorities are non-zero by construction, so the merge is
+        never ambiguous).
+
+        The per-request arithmetic is operation-for-operation identical to
+        :meth:`_replay_fast` (and therefore to every other path): with no
+        auxiliary events scheduled the metrics are **bit-identical** to the
+        fast/columnar loops.  Auxiliary events draw from their own random
+        generators (see :mod:`repro.sim.events`), so the request stream's
+        pre-drawn bandwidth ratios stay valid even while events fire
+        between requests.  ``last_mile`` composes the per-client hop
+        exactly as in :meth:`_replay_events`.
+        """
+        catalog = self.workload.catalog
+        trace: ColumnarTrace = self.workload.trace
+        total = len(trace)
+        ratio_array = self._predraw_ratios(topology, rng, total)
+
+        # Localise everything touched per request.
+        catalog_get = catalog.get
+        path_for = topology.path_for
+        store_cached = store.cached_bytes
+        policy_on_request = policy.on_request
+        estimator_estimate = estimator.estimate if estimator is not None else None
+        estimator_observe = estimator.observe if estimator is not None else None
+        verify_store = self.config.verify_store
+        verify_consistency = (
+            store.verify_consistency if hierarchy is None else hierarchy.verify_consistency
+        )
+        hier_serve = hierarchy.serve if hierarchy is not None else None
+        hier_edge = hierarchy.edge_cached if hierarchy is not None else None
+        inf = float("inf")
+
+        ids_array = trace.object_ids_array
+        ids_list = ids_array.tolist()
+        times_list = trace.times_array.tolist()
+
+        # Resolve every distinct object once (dense ids, list-indexed).
+        entries: List[Optional[tuple]] = [None] * (max_id + 1)
+        for object_id in (np.unique(ids_array).tolist() if total else []):
+            obj = catalog_get(object_id)
+            path = path_for(obj)
+            entries[object_id] = (
+                obj,
+                path.base_bandwidth,
+                obj.duration * obj.bitrate,
+                obj.duration,
+                obj.bitrate,
+                1.0 / obj.layers,
+                obj.value,
+                obj.server_id,
+                path,
+            )
+
+        # Vectorised observed bandwidth when the variability model allows
+        # batched draws (elementwise IEEE-identical to the scalar form).
+        observed_seq: Optional[List[float]] = None
+        if ratio_array is not None and total:
+            base_lut = np.zeros(max_id + 1, dtype=np.float64)
+            for object_id, entry in enumerate(entries):
+                if entry is not None:
+                    base_lut[object_id] = entry[1]
+            observed_array = base_lut[ids_array] * ratio_array
+            np.maximum(observed_array, 1.0, out=observed_array)
+            observed_seq = observed_array.tolist()
+
+        lm_base, lm_observed, lm_groups = (
+            last_mile if last_mile is not None else (None, None, None)
+        )
+        rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
+        intercept = injector.intercept if injector is not None else None
+        serve_stale = injector.serve_stale if injector is not None else False
+        stream_serve = streaming.serve if streaming is not None else None
+        stream_failed = streaming.record_failed if streaming is not None else None
+        stream_ids = streaming.stream_ids if streaming is not None else None
+
+        aux_heap = schedule.begin()
+        fire_before = schedule.fire_before
+
+        # Timeline boundary check: one float compare per request; with no
+        # timeline the boundary is +inf and the branch never runs.  The
+        # snapshot tuple is built inline — a helper closing over the m_*
+        # locals would turn them into cell variables and slow the whole
+        # loop even when the timeline is disabled.
+        tl_close = timeline.close if timeline is not None else None
+        tl_boundary = timeline.first_boundary if timeline is not None else inf
+
+        measuring = collector.measuring
+        m_requests = 0
+        m_bytes_cache = 0.0
+        m_bytes_server = 0.0
+        m_delay = 0.0
+        m_quality = 0.0
+        m_value = 0.0
+        m_hits = 0
+        m_immediate = 0
+        m_delayed = 0
+        m_delay_delayed = 0.0
+        m_failed = 0
+        m_stale = 0
+        m_retried = 0
+        m_retries = 0
+        warmup_count = 0
+        hits_by_object: Dict[int, int] = {}
+
+        for index, object_id in enumerate(ids_list):
+            req_time = times_list[index]
+            # Fire every auxiliary event the engine would have run before
+            # this request (strictly earlier time, or same time with a
+            # negative priority).  The guard keeps the empty-schedule case
+            # — the columnar fast path — at one truthiness check.
+            if aux_heap and (aux_heap[0][0], aux_heap[0][1]) < (req_time, 0):
+                fire_before(req_time)
+            if req_time >= tl_boundary:
+                tl_boundary = tl_close(
+                    req_time,
+                    (
+                        m_requests,
+                        m_bytes_cache,
+                        m_bytes_server,
+                        m_delay,
+                        m_quality,
+                        m_value,
+                        m_hits,
+                        m_immediate,
+                        m_delayed,
+                        m_delay_delayed,
+                        m_failed,
+                        m_stale,
+                        m_retried,
+                        m_retries,
+                    ),
+                )
+            if index == warmup_cutoff:
+                measuring = True
+
+            entry = entries[object_id]
+            obj, base_bw, size, duration, bitrate, quantum, value, server_id, path = entry
+
+            if observed_seq is not None:
+                observed = observed_seq[index]
+            else:
+                observed = path.observed_bandwidth(rng)
+            origin_observed = observed
+            if lm_observed is not None:
+                cap = lm_observed[index]
+                if cap < observed:
+                    observed = cap
+
+            if estimator_estimate is not None:
+                believed = estimator_estimate(server_id)
+            else:
+                believed = base_bw
+            prior_estimate = believed
+            if lm_base is not None:
+                cap = lm_base[index]
+                if cap < believed:
+                    believed = cap
+
+            disposition = None
+            if intercept is not None:
+                disposition = intercept(
+                    req_time,
+                    server_id,
+                    lm_groups[index] if lm_groups is not None else None,
+                    origin_observed,
+                    lm_observed[index] if lm_observed is not None else None,
+                )
+
+            if disposition is None or disposition[0] == 0:  # FETCH_OK
+                if disposition is not None:
+                    observed = disposition[1]
+                    origin_observed = disposition[2]
+                if hier_serve is not None:
+                    cached, observed = hier_serve(
+                        pops[index] if pops is not None else 0,
+                        object_id,
+                        obj,
+                        size,
+                        observed,
+                        lm_observed[index] if lm_observed is not None else None,
+                        believed,
+                        prior_estimate,
+                        req_time,
+                        measuring,
+                    )
+                if stream_serve is not None and object_id in stream_ids:
+                    # Segment-aware session through the shared streaming
+                    # engine; the accumulation below mirrors
+                    # MetricsCollector.record_streaming() operation-for-
+                    # operation.
+                    s_cache, s_server, s_delay, s_quality, s_full = stream_serve(
+                        object_id,
+                        observed,
+                        req_time,
+                        measuring,
+                        disposition[3] if disposition is not None else 0.0,
+                    )
+                    if measuring:
+                        m_requests += 1
+                        m_bytes_cache += s_cache
+                        m_bytes_server += s_server
+                        m_delay += s_delay
+                        m_quality += s_quality
+                        if s_delay <= 0.0:
+                            if s_full:
+                                m_value += value
+                            m_immediate += 1
+                        else:
+                            m_delayed += 1
+                            m_delay_delayed += s_delay
+                        if s_cache > 0:
+                            m_hits += 1
+                            hits_by_object[object_id] = (
+                                hits_by_object.get(object_id, 0) + 1
+                            )
+                        if disposition is not None and disposition[4]:
+                            m_retried += 1
+                            m_retries += disposition[4]
+                    else:
+                        warmup_count += 1
+                elif measuring:
+                    if hier_serve is None:
+                        cached = store_cached(object_id)
+
+                    # DeliverySession.outcome(), inlined with identical
+                    # floating-point operation order.
+                    if cached > size:
+                        cached = size
+                    missing = size - duration * observed - cached
+                    if missing <= 0:
+                        delay = 0.0
+                    elif observed <= 0:
+                        delay = inf
+                    else:
+                        delay = missing / observed
+                    supported_rate = cached / duration + (
+                        observed if observed > 0.0 else 0.0
+                    )
+                    fraction = supported_rate / bitrate
+                    if fraction >= 1.0:
+                        quality = 1.0
+                    else:
+                        quality = int(fraction / quantum + 1e-9) * quantum
+                    if disposition is not None and disposition[3] > 0.0:
+                        # Retry backoff delays playout start.
+                        delay = delay + disposition[3]
+
+                    # MetricsCollector.record(), inlined in the same order.
+                    m_requests += 1
+                    m_bytes_cache += cached
+                    m_bytes_server += size - cached
+                    m_delay += delay
+                    m_quality += quality
+                    if delay <= 0.0:
+                        m_value += value
+                        m_immediate += 1
+                    else:
+                        m_delayed += 1
+                        m_delay_delayed += delay
+                    if cached > 0:
+                        m_hits += 1
+                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                    if disposition is not None and disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                else:
+                    warmup_count += 1
+
+                if hier_serve is None:
+                    policy_on_request(obj, believed, req_time, store)
+                if estimator_observe is not None:
+                    estimator_observe(server_id, origin_observed)
+                    if rekeyer_request is not None:
+                        rekeyer_request(
+                            req_time,
+                            server_id,
+                            lm_groups[index] if lm_groups is not None else None,
+                            prior_estimate,
+                            observed,
+                        )
+            else:
+                # Fetch failed after the retry budget: serve the cached
+                # prefix stale, or fail the request outright.  No
+                # policy_on_request — the origin is unreachable, so there
+                # is nothing to fetch or admit.
+                if hier_edge is not None:
+                    cached = hier_edge(
+                        pops[index] if pops is not None else 0, object_id
+                    )
+                else:
+                    cached = store_cached(object_id)
+                if cached > size:
+                    cached = size
+                stale = serve_stale and cached > 0.0
+                injector.record_unserved(stale)
+                if measuring:
+                    waited = disposition[3]
+                    m_requests += 1
+                    if stale:
+                        sq = stale_quality(cached, duration, bitrate, quantum)
+                        m_bytes_cache += cached
+                        m_quality += sq
+                        m_hits += 1
+                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                        m_stale += 1
+                    else:
+                        sq = 0.0
+                        m_failed += 1
+                    m_delay += waited
+                    m_delayed += 1
+                    m_delay_delayed += waited
+                    if disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                    if stream_failed is not None and object_id in stream_ids:
+                        stream_failed(waited, sq)
+                else:
+                    warmup_count += 1
+                if estimator_observe is not None:
+                    estimator_observe(server_id, disposition[2])
+                    if rekeyer_request is not None:
+                        rekeyer_request(
+                            req_time,
+                            server_id,
+                            lm_groups[index] if lm_groups is not None else None,
+                            prior_estimate,
+                            disposition[1],
+                        )
+            if verify_store and not verify_consistency():
+                raise AssertionError(
+                    "cache store accounting became inconsistent "
+                    f"after request {index} (object {object_id})"
+                )
+
+        # Auxiliary events scheduled after the last request still fire, just
+        # as the engine would have drained them.
+        schedule.drain()
+
+        collector.measuring = measuring
+        collector.absorb(
+            requests=m_requests,
+            bytes_from_cache=m_bytes_cache,
+            bytes_from_server=m_bytes_server,
+            delay_sum=m_delay,
+            quality_sum=m_quality,
+            value_sum=m_value,
+            hits=m_hits,
+            immediate=m_immediate,
+            delayed=m_delayed,
+            delay_sum_delayed=m_delay_delayed,
+            warmup_requests=warmup_count,
+            failed=m_failed,
+            stale_served=m_stale,
+            retried=m_retried,
+            total_retries=m_retries,
+            per_object_hits=hits_by_object,
+        )

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Kernel-seam gate: replay drivers must not reach around the kernel.
+
+The four replay drivers in ``src/repro/sim/simulator.py`` (the
+``_replay_*`` methods) own *iteration order only* — event merging, chunk
+boundaries, column extraction.  Every per-request decision (faults,
+hierarchy residency, streaming delivery, policy admit/evict, passive
+observation, metrics/timeline emission) lives in
+:mod:`repro.sim.kernel`, reached exclusively through
+:func:`~repro.sim.kernel.serve_request` /
+:func:`~repro.sim.kernel.serve_batch` and the ``KernelContext`` built
+once per run from each subsystem's ``kernel_hooks()``.
+
+That seam is what keeps the four paths bit-identical: a driver that
+calls a subsystem directly re-introduces a per-path service sequence,
+and the divergence only surfaces when that subsystem is active on that
+path — exactly the bug class the kernel refactor removed.  This gate
+fails the build the moment a driver:
+
+* names a subsystem engine class (``FaultInjector``, ``HierarchyEngine``,
+  ``StreamingDeliveryEngine``, ``MetricsTimeline``, ``ReactiveRekeyer``,
+  ``MetricsCollector``) or a subsystem instance variable,
+* touches ``self`` beyond the trace and the other drivers (the
+  subsystem instances assembled by ``run()`` are not driver state),
+* reads kernel-owned state off the context beyond the replay-shape
+  fields (``dense_bound``), or
+* stops delegating — every driver must call ``serve_request`` /
+  ``serve_batch`` or hand off to another driver.
+
+Run via ``make kernel-check``; wired into CI (see
+``.github/workflows/ci.yml``).  Tested by ``tests/test_sim_kernel.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SIMULATOR_PATH = REPO_ROOT / "src" / "repro" / "sim" / "simulator.py"
+
+#: Subsystem engine classes a driver must never name: constructing or
+#: type-checking one inside a driver means per-path service logic.
+FORBIDDEN_CLASSES = frozenset(
+    {
+        "FaultInjector",
+        "HierarchyEngine",
+        "StreamingDeliveryEngine",
+        "MetricsTimeline",
+        "ReactiveRekeyer",
+        "MetricsCollector",
+    }
+)
+
+#: Subsystem instance names as ``run()`` binds them.  A driver has no
+#: business holding any of these — they reach the kernel through
+#: ``kernel_hooks()`` and live on the context.
+FORBIDDEN_NAMES = frozenset(
+    {
+        "injector",
+        "hierarchy",
+        "streaming",
+        "timeline",
+        "collector",
+        "estimator",
+        "rekeyer",
+        "policy",
+        "store",
+        "profiler",
+    }
+)
+
+#: The only ``self.<attr>`` a driver may touch besides other drivers:
+#: the workload (iteration source).  Everything else ``run()`` assembled
+#: belongs to the kernel context.
+ALLOWED_SELF_ATTRS = frozenset({"workload"})
+
+#: The only ``ctx.<attr>`` reads a driver may perform: fields that shape
+#: the *replay* (which driver / how to chunk), never fields that shape
+#: the *service* of a request.
+ALLOWED_CTX_ATTRS = frozenset({"dense_bound"})
+
+#: A driver must delegate per-request service to one of these.
+KERNEL_ENTRYPOINTS = frozenset({"serve_request", "serve_batch"})
+
+
+def _driver_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    drivers: List[ast.FunctionDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name.startswith(
+                    "_replay_"
+                ):
+                    drivers.append(item)
+    return drivers
+
+
+def check_driver(driver: ast.FunctionDef) -> List[str]:
+    """All seam violations in one ``_replay_*`` driver."""
+    problems: List[str] = []
+    delegates = False
+    for node in ast.walk(driver):
+        if isinstance(node, ast.Name):
+            if node.id in FORBIDDEN_CLASSES:
+                problems.append(
+                    f"{driver.name}:{node.lineno}: names subsystem class "
+                    f"{node.id!r} — drivers must reach subsystems through "
+                    f"the kernel context only"
+                )
+            elif node.id in FORBIDDEN_NAMES and isinstance(node.ctx, ast.Load):
+                problems.append(
+                    f"{driver.name}:{node.lineno}: reads subsystem instance "
+                    f"{node.id!r} — per-request service belongs to "
+                    f"repro.sim.kernel"
+                )
+            elif node.id in KERNEL_ENTRYPOINTS:
+                delegates = True
+        elif isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            owner = node.value.id
+            if owner == "self":
+                if node.attr.startswith("_replay_"):
+                    delegates = True
+                elif node.attr not in ALLOWED_SELF_ATTRS:
+                    problems.append(
+                        f"{driver.name}:{node.lineno}: touches "
+                        f"self.{node.attr} — drivers own iteration only "
+                        f"(allowed: "
+                        f"{', '.join(sorted(ALLOWED_SELF_ATTRS))}, other "
+                        f"_replay_* drivers)"
+                    )
+            elif owner == "ctx" and node.attr not in ALLOWED_CTX_ATTRS:
+                problems.append(
+                    f"{driver.name}:{node.lineno}: reads ctx.{node.attr} — "
+                    f"kernel state is served through serve_request/"
+                    f"serve_batch, not picked apart by drivers (allowed: "
+                    f"{', '.join(sorted(ALLOWED_CTX_ATTRS))})"
+                )
+    if not delegates:
+        problems.append(
+            f"{driver.name}: never calls serve_request/serve_batch nor "
+            f"another _replay_* driver — the service sequence must come "
+            f"from repro.sim.kernel"
+        )
+    return problems
+
+
+def check_file(path: Path = SIMULATOR_PATH) -> List[str]:
+    """All seam violations across every driver in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    drivers = _driver_functions(tree)
+    problems: List[str] = []
+    if len(drivers) < 4:
+        problems.append(
+            f"expected the four replay drivers in {path.name}, found "
+            f"{len(drivers)}: {', '.join(d.name for d in drivers) or 'none'}"
+        )
+    for driver in drivers:
+        problems.extend(check_driver(driver))
+    return problems
+
+
+def main(argv=None) -> int:
+    path = Path(argv[0]) if argv else SIMULATOR_PATH
+    problems = check_file(path)
+    for problem in problems:
+        print(problem)
+    tree = ast.parse(path.read_text())
+    names = [d.name for d in _driver_functions(tree)]
+    print(
+        f"kernel gate: {len(names)} drivers checked "
+        f"({', '.join(names)}), {len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

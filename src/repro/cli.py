@@ -65,7 +65,7 @@ from repro.network.variability import (
 from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
 from repro.sim.events import RemeasurementConfig
 from repro.sim.faults import FaultConfig
-from repro.sim.simulator import ProxyCacheSimulator
+from repro.sim.simulator import REPLAY_PATHS, ProxyCacheSimulator
 from repro.sim.streaming import StreamingConfig
 from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
 
@@ -256,6 +256,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="time the run's stages (workload draw, topology "
                           "build, replay, policy ops, estimator, fault "
                           "evaluation) and print a wall-clock breakdown")
+    run.add_argument("--replay", choices=REPLAY_PATHS, default=None,
+                     metavar="PATH",
+                     help="force a specific replay driver instead of "
+                          f"auto-selection: one of {', '.join(REPLAY_PATHS)} "
+                          "(all drivers produce bit-identical metrics; "
+                          "'fast' and 'columnar' reject runs that schedule "
+                          "auxiliary events, and the columnar drivers "
+                          "require the dense-id columnar trace the CLI "
+                          "builds)")
     run.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser(
@@ -501,6 +510,14 @@ def _run_single(args: argparse.Namespace) -> int:
         if args.shards < 1:
             _log.error("--shards must be at least 1, got %d", args.shards)
             raise SystemExit(2)
+        if args.replay is not None and args.replay != "auto":
+            # Shard traces are per-client slices whose object-id density
+            # differs from the full trace, so a forced driver that is legal
+            # on the whole workload can be illegal on a shard.
+            _log.error("--replay %s cannot be combined with --shards; "
+                       "each shard picks its driver automatically",
+                       args.replay)
+            raise SystemExit(2)
         fleet = run_sharded_fleet(
             workload,
             config,
@@ -511,7 +528,9 @@ def _run_single(args: argparse.Namespace) -> int:
         result = fleet.merged
     else:
         policy = make_policy(args.policy, estimator_e=args.estimator_e)
-        result = ProxyCacheSimulator(workload, config).run(policy)
+        result = ProxyCacheSimulator(workload, config).run(
+            policy, replay=args.replay
+        )
     print(f"policy: {result.policy_name}")
     print(f"cache size: {args.cache_gb} GB "
           f"({config.cache_fraction_of(workload.catalog.total_size):.1%} of unique bytes)")

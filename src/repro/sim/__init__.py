@@ -9,10 +9,13 @@
 * :mod:`repro.sim.hierarchy` — multi-tier cache hierarchies (edge pops,
   parents, optional ICP-style sibling lookup) composed with the
   bottleneck bandwidth model,
+* :mod:`repro.sim.kernel` — the shared per-request service kernel every
+  replay driver delegates to (the canonical stage sequence, assembled
+  once per run into a :class:`~repro.sim.kernel.KernelContext`),
 * :mod:`repro.sim.metrics` — the paper's performance metrics (Section 3.3),
 * :mod:`repro.sim.simulator` — the proxy-cache simulator proper, with its
-  three bit-identical replay paths (event calendar / fast / columnar
-  event; see ``docs/architecture.md``),
+  four bit-identical replay drivers (event calendar / fast / columnar
+  fast / columnar event; see ``docs/architecture.md``),
 * :mod:`repro.sim.runner` — multi-run averaging and parameter sweeps,
 * :mod:`repro.sim.sharing` — the stream-sharing analyzer,
 * :mod:`repro.sim.streaming` — segment-aware streaming sessions with
@@ -38,6 +41,13 @@ from repro.sim.faults import (
     FaultSchedule,
 )
 from repro.sim.hierarchy import CacheTier, HierarchyConfig, HierarchyReport
+from repro.sim.kernel import (
+    KERNEL_STAGES,
+    KernelContext,
+    build_context,
+    serve_batch,
+    serve_request,
+)
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.runner import PolicyComparison, SweepResult, compare_policies, run_replications, sweep_cache_sizes
 from repro.sim.sharing import SharingReport, StreamSharingAnalyzer, prefix_function_for_bandwidth
@@ -65,6 +75,8 @@ __all__ = [
     "FaultSchedule",
     "HierarchyConfig",
     "HierarchyReport",
+    "KERNEL_STAGES",
+    "KernelContext",
     "MetricsCollector",
     "PeriodicEvent",
     "PolicyComparison",
@@ -82,8 +94,11 @@ __all__ = [
     "StreamingDeliveryEngine",
     "StreamingReport",
     "SweepResult",
+    "build_context",
     "build_remeasurement_events",
     "select_stream_ids",
+    "serve_batch",
+    "serve_request",
     "compare_policies",
     "prefix_function_for_bandwidth",
     "run_replications",

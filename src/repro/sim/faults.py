@@ -638,6 +638,23 @@ class FaultInjector:
                     worst = episode.factor
         return worst
 
+    # -- the kernel seam -----------------------------------------------
+    def kernel_hooks(self) -> dict:
+        """The fault-evaluation stage hooks for :mod:`repro.sim.kernel`.
+
+        ``intercept`` runs every fetch through the fault model at the
+        kernel's *faults* stage; ``record_unserved`` accounts a
+        post-retry failure; ``serve_stale`` is the configured
+        stale-serving flag.  Binding through this seam (instead of
+        reaching into the injector from each replay driver) is what
+        ``scripts/check_kernel.py`` enforces.
+        """
+        return {
+            "intercept": self.intercept,
+            "record_unserved": self.record_unserved,
+            "serve_stale": self.serve_stale,
+        }
+
     # -- the per-request hook ------------------------------------------
     def intercept(
         self,

@@ -1,0 +1,1105 @@
+"""The shared per-request service kernel behind all four replay drivers.
+
+Every replay path in :mod:`repro.sim.simulator` — event calendar, fast,
+columnar fast, columnar event — used to carry its own copy of the
+per-request service sequence, hand-matched at "identical sequence points"
+and guarded only by bit-identity tests.  This module is that sequence's
+single home.  The drivers own *iteration* (trace order, auxiliary-event
+merging, pre-drawn column access); the kernel owns *service*:
+
+1. **window** — close due metrics-timeline windows,
+2. **warmup** — flip from warm-up to measurement at the cutoff index,
+3. **resolve** — object / delivery-path / cached-entry resolution,
+4. **bandwidth** — origin bandwidth draw + last-mile bottleneck
+   composition (``min(origin, uplinks, last-mile)``),
+5. **belief** — estimator belief lookup + last-mile base cap,
+6. **faults** — fault-injector interception (outages, retries, backoff),
+7. **residency** — hierarchy residency / escalation, or flat store read,
+8. **delivery** — streaming session or delivery-session arithmetic,
+9. **metrics** — metric accumulation (measured requests only),
+10. **policy** — policy admit / evict (skipped under a hierarchy, whose
+    tiers run their own policies),
+11. **passive** — passive bandwidth observation + reactive trigger,
+12. **verify** — optional store-consistency verification.
+
+:data:`KERNEL_STAGES` lists the stages in canonical order;
+``tests/test_sim_kernel.py`` asserts that every driver emits them in that
+order, per request, with identical traces across drivers.
+
+The kernel has two entry points with bit-identical arithmetic:
+
+* :func:`serve_request` — the scalar path, used per request by the
+  event-calendar driver (and by every driver when a ``stage_observer``
+  is installed, so instrumentation never perturbs the hot loop), and
+* :func:`serve_batch` — the chunk-oriented path the three tight-loop
+  drivers feed with ``[start, stop)`` runs of the trace.  Chunks are the
+  seam for later vectorisation: a driver hands over the longest run of
+  requests uninterrupted by auxiliary events, and the kernel is free to
+  process it however it likes as long as the observable sequence is
+  preserved.  Metric accumulators are *carried across chunks* on the
+  context and merged into the collector exactly once
+  (:meth:`KernelContext.finish`) — floating-point addition order is part
+  of the bit-identity contract.
+
+A :class:`KernelContext` is assembled once per run by
+:func:`build_context` from the simulator's configured subsystems.  Each
+subsystem exposes its seam through a ``kernel_hooks()`` method
+(:class:`~repro.sim.faults.FaultInjector`,
+:class:`~repro.sim.hierarchy.HierarchyEngine`,
+:class:`~repro.sim.streaming.StreamingDeliveryEngine`,
+:class:`~repro.sim.events.ReactiveRekeyer`,
+:class:`~repro.obs.timeline.MetricsTimeline`) — adding a subsystem to
+the simulator means adding one stage hook here, not four hand-matched
+loop edits (see ``docs/architecture.md``).
+
+All pre-draw logic also lives here (it used to be duplicated across the
+loops): :func:`predraw_ratios` (batched bandwidth-variability draws),
+:func:`last_mile_sequences` (per-request last-mile base / observed /
+group), and :func:`pop_sequence` (per-request hierarchy pop affinity)
+are resolved once by :func:`build_context` before replay starts, which
+is what makes the composition bit-identical across drivers by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.faults import stale_quality
+from repro.trace.columnar import ColumnarTrace
+
+#: The canonical per-request stage order.  A request's emitted stages are
+#: always a subsequence of this tuple (stages whose subsystem is disabled,
+#: or that a branch skips — e.g. ``policy`` on a failed fetch — do not
+#: fire), and the emitted trace is identical across all four drivers.
+KERNEL_STAGES = (
+    "window",
+    "warmup",
+    "resolve",
+    "bandwidth",
+    "belief",
+    "faults",
+    "residency",
+    "delivery",
+    "metrics",
+    "policy",
+    "passive",
+    "verify",
+)
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Pre-draw logic (one home; used by build_context only).
+# ----------------------------------------------------------------------
+def predraw_ratios(
+    topology, rng: np.random.Generator, count: int
+) -> Optional[np.ndarray]:
+    """Draw all per-request variability ratios in one numpy batch.
+
+    Only legal when every path shares one variability model whose batched
+    draws consume the generator exactly like per-request draws
+    (``iid_batch_equivalent``) — the batch is then elementwise
+    IEEE-identical to the scalar draws it replaces, on *every* driver.
+    Returns ``None`` otherwise, in which case the kernel falls back to
+    per-request sampling from the live generator.
+    """
+    model = None
+    for path in topology.paths:
+        if model is None:
+            model = path.variability
+        elif path.variability is not model:
+            return None
+    if model is None or not getattr(model, "iid_batch_equivalent", False):
+        return None
+    if count == 0:
+        return np.empty(0)
+    return np.asarray(model.sample_ratio(rng, size=count), dtype=np.float64)
+
+
+def last_mile_sequences(topology, trace, seed: tuple) -> Optional[tuple]:
+    """Per-request last-mile ``(base, observed, group)`` sequences.
+
+    Returns ``None`` when the topology's client cloud has no modeled
+    last-mile paths — the kernel then skips the composition entirely,
+    reproducing the pre-heterogeneity arithmetic exactly.
+
+    Otherwise every request is resolved to its client's group path
+    (``client_id % groups``) and three aligned lists are returned: the
+    group's *base* bandwidth (what the cache believes its own last mile
+    sustains — the cache knows its client side, so no estimator is
+    involved), the *observed* last-mile bandwidth for that request (base
+    modulated by the group's variability model), and the request's
+    client-group index (consumed by the reactive rekeyer's per-group
+    anchors; see :mod:`repro.sim.events`).  All draws come from a
+    dedicated generator seeded with ``seed``, in request order, computed
+    once per run *before* replay starts.
+    """
+    cloud = topology.clients
+    paths = getattr(cloud, "paths", None)
+    if not paths:
+        return None
+    total = len(trace)
+    if isinstance(trace, ColumnarTrace):
+        client_ids = trace.client_ids_array.astype(np.int64, copy=False)
+    else:
+        client_ids = np.fromiter(
+            (request.client_id for request in trace), dtype=np.int64, count=total
+        )
+    groups = client_ids % len(paths)
+    base_lut = np.array([path.base_bandwidth for path in paths], dtype=np.float64)
+    base = base_lut[groups]
+
+    rng = np.random.default_rng(seed)
+    model = paths[0].variability
+    shared = all(path.variability is model for path in paths)
+    if shared and getattr(model, "iid_batch_equivalent", False) and total:
+        ratios = np.asarray(model.sample_ratio(rng, size=total), dtype=np.float64)
+        observed = base * ratios
+        np.maximum(observed, 1.0, out=observed)
+    else:
+        observed = np.empty(total, dtype=np.float64)
+        group_list = groups.tolist()
+        for index in range(total):
+            observed[index] = paths[group_list[index]].observed_bandwidth(rng)
+    return base.tolist(), observed.tolist(), groups.tolist()
+
+
+def pop_sequence(trace, num_pops: int) -> Optional[List[int]]:
+    """Per-request pop indices (``client_id % num_pops``), resolved once.
+
+    Mirrors the affinity rule of :func:`last_mile_sequences` (clients are
+    pinned by id modulo the replica count).  Returns ``None`` for a
+    single-pop hierarchy so the kernel skips the lookup entirely.
+    """
+    if num_pops <= 1:
+        return None
+    if isinstance(trace, ColumnarTrace):
+        return (
+            trace.client_ids_array.astype(np.int64, copy=False) % num_pops
+        ).tolist()
+    return [request.client_id % num_pops for request in trace]
+
+
+# ----------------------------------------------------------------------
+# Per-object resolution.
+# ----------------------------------------------------------------------
+def _make_entry(catalog_get, path_for, object_id: int) -> tuple:
+    """Resolve one object to the kernel's cached per-object tuple.
+
+    ``(obj, base_bw, size, duration, bitrate, quantum, value, server_id,
+    path)`` — ``base_bw`` is immutable for the duration of a run (the
+    floor from ``build_topology`` is applied before replay starts), so
+    caching it is safe.
+    """
+    obj = catalog_get(object_id)
+    path = path_for(obj)
+    return (
+        obj,
+        path.base_bandwidth,
+        obj.duration * obj.bitrate,
+        obj.duration,
+        obj.bitrate,
+        1.0 / obj.layers,
+        obj.value,
+        obj.server_id,
+        path,
+    )
+
+
+class _LazyEntries(dict):
+    """Per-object entry cache that resolves objects on first touch.
+
+    Used when the trace's object ids are not dense enough for the
+    prefilled lookup list — ``entries[object_id]`` stays a plain
+    subscript in the hot loop either way.
+    """
+
+    __slots__ = ("_catalog_get", "_path_for")
+
+    def __init__(self, catalog_get, path_for):
+        super().__init__()
+        self._catalog_get = catalog_get
+        self._path_for = path_for
+
+    def __missing__(self, object_id):
+        entry = _make_entry(self._catalog_get, self._path_for, object_id)
+        self[object_id] = entry
+        return entry
+
+
+# ----------------------------------------------------------------------
+# The per-run kernel context.
+# ----------------------------------------------------------------------
+class KernelContext:
+    """Everything one run's service sequence needs, bound once.
+
+    Built by :func:`build_context`; consumed by :func:`serve_request` /
+    :func:`serve_batch`.  The ``m_*`` metric accumulators and the
+    ``measuring`` / ``tl_boundary`` cursors are *run state* carried
+    across driver chunks; everything else is read-only for the run.
+    Call :meth:`finish` exactly once after the driver completes to merge
+    the accumulated metrics into the collector.
+    """
+
+    __slots__ = (
+        # Static bindings (read-only during replay).
+        "warmup_cutoff",
+        "verify_store",
+        "verify_consistency",
+        "store",
+        "store_cached",
+        "policy",
+        "policy_on_request",
+        "collector",
+        "estimator_estimate",
+        "estimator_observe",
+        "rekeyer_request",
+        "intercept",
+        "record_unserved",
+        "serve_stale",
+        "stream_serve",
+        "stream_failed",
+        "stream_ids",
+        "hier_serve",
+        "hier_edge",
+        "tl_close",
+        "rng",
+        "entries",
+        "observed_seq",
+        "ratios",
+        "lm_base",
+        "lm_observed",
+        "lm_groups",
+        "pops",
+        "dense_bound",
+        "stage_observer",
+        # Run state (carried across chunks).
+        "measuring",
+        "tl_boundary",
+        "m_requests",
+        "m_bytes_cache",
+        "m_bytes_server",
+        "m_delay",
+        "m_quality",
+        "m_value",
+        "m_hits",
+        "m_immediate",
+        "m_delayed",
+        "m_delay_delayed",
+        "m_failed",
+        "m_stale",
+        "m_retried",
+        "m_retries",
+        "warmup_count",
+        "hits_by_object",
+    )
+
+    def snapshot_core(self) -> tuple:
+        """The fourteen core accumulators, in ``MetricsCollector.snapshot``
+        order — the payload of every metrics-timeline marker."""
+        return (
+            self.m_requests,
+            self.m_bytes_cache,
+            self.m_bytes_server,
+            self.m_delay,
+            self.m_quality,
+            self.m_value,
+            self.m_hits,
+            self.m_immediate,
+            self.m_delayed,
+            self.m_delay_delayed,
+            self.m_failed,
+            self.m_stale,
+            self.m_retried,
+            self.m_retries,
+        )
+
+    def finish(self) -> None:
+        """Merge the carried accumulators into the collector, once.
+
+        The collector starts the measurement phase all-zero, so this
+        single :meth:`~repro.sim.metrics.MetricsCollector.absorb` call
+        is bit-identical to having recorded every request individually
+        (adding a sum to ``0.0`` is exact).
+        """
+        collector = self.collector
+        collector.measuring = self.measuring
+        collector.absorb(
+            requests=self.m_requests,
+            bytes_from_cache=self.m_bytes_cache,
+            bytes_from_server=self.m_bytes_server,
+            delay_sum=self.m_delay,
+            quality_sum=self.m_quality,
+            value_sum=self.m_value,
+            hits=self.m_hits,
+            immediate=self.m_immediate,
+            delayed=self.m_delayed,
+            delay_sum_delayed=self.m_delay_delayed,
+            warmup_requests=self.warmup_count,
+            failed=self.m_failed,
+            stale_served=self.m_stale,
+            retried=self.m_retried,
+            total_retries=self.m_retries,
+            per_object_hits=self.hits_by_object,
+        )
+
+
+def build_context(
+    *,
+    catalog,
+    trace,
+    topology,
+    policy,
+    store,
+    collector,
+    estimator=None,
+    rekeyer=None,
+    injector=None,
+    timeline=None,
+    streaming=None,
+    hierarchy=None,
+    rng: np.random.Generator,
+    mode: str,
+    dense_bound: Optional[int],
+    warmup_cutoff: int,
+    verify_store: bool,
+    num_pops: int = 1,
+    client_cloud_seed: tuple = (0,),
+    stage_observer=None,
+) -> KernelContext:
+    """Assemble the per-run :class:`KernelContext`.
+
+    Binds each configured subsystem through its ``kernel_hooks()`` seam,
+    resolves every pre-drawn sequence (variability ratios, last-mile
+    draws, pop affinity), and — for dense-id columnar traces on a
+    tight-loop ``mode`` — prefills the per-object entry table and the
+    fully vectorised observed-bandwidth column.
+
+    ``rekeyer`` is the *passive-reactive* rekeyer (already gated by the
+    config); ``mode`` is the resolved replay path, which decides the
+    entry-table representation.  ``stage_observer``, when given, is
+    called as ``observer(index, stage)`` at every executed stage — the
+    drivers then route each request through the scalar path so the hot
+    loop never carries instrumentation branches.
+    """
+    catalog_get = catalog.get
+    path_for = topology.path_for
+    total = len(trace)
+
+    ctx = KernelContext()
+    ctx.warmup_cutoff = warmup_cutoff
+    ctx.verify_store = verify_store
+    ctx.store = store
+    ctx.store_cached = store.cached_bytes
+    ctx.policy = policy
+    ctx.policy_on_request = policy.on_request
+    ctx.collector = collector
+    ctx.estimator_estimate = estimator.estimate if estimator is not None else None
+    ctx.estimator_observe = estimator.observe if estimator is not None else None
+    ctx.rng = rng
+    ctx.dense_bound = dense_bound
+    ctx.stage_observer = stage_observer
+
+    rekeyer_hooks = rekeyer.kernel_hooks() if rekeyer is not None else None
+    ctx.rekeyer_request = (
+        rekeyer_hooks["observe_request"] if rekeyer_hooks is not None else None
+    )
+
+    fault_hooks = injector.kernel_hooks() if injector is not None else None
+    if fault_hooks is not None:
+        ctx.intercept = fault_hooks["intercept"]
+        ctx.record_unserved = fault_hooks["record_unserved"]
+        ctx.serve_stale = fault_hooks["serve_stale"]
+    else:
+        ctx.intercept = None
+        ctx.record_unserved = None
+        ctx.serve_stale = False
+
+    stream_hooks = streaming.kernel_hooks() if streaming is not None else None
+    if stream_hooks is not None:
+        ctx.stream_serve = stream_hooks["serve"]
+        ctx.stream_failed = stream_hooks["record_failed"]
+        ctx.stream_ids = stream_hooks["stream_ids"]
+    else:
+        ctx.stream_serve = None
+        ctx.stream_failed = None
+        ctx.stream_ids = None
+
+    hier_hooks = hierarchy.kernel_hooks() if hierarchy is not None else None
+    if hier_hooks is not None:
+        ctx.hier_serve = hier_hooks["serve"]
+        ctx.hier_edge = hier_hooks["edge_cached"]
+        ctx.verify_consistency = hier_hooks["verify_consistency"]
+    else:
+        ctx.hier_serve = None
+        ctx.hier_edge = None
+        ctx.verify_consistency = store.verify_consistency
+
+    timeline_hooks = timeline.kernel_hooks() if timeline is not None else None
+    if timeline_hooks is not None:
+        ctx.tl_close = timeline_hooks["close"]
+        ctx.tl_boundary = timeline_hooks["first_boundary"]
+    else:
+        ctx.tl_close = None
+        ctx.tl_boundary = _INF
+
+    # Pre-drawn sequences: one home for all four drivers.
+    last_mile = last_mile_sequences(topology, trace, client_cloud_seed)
+    ctx.lm_base, ctx.lm_observed, ctx.lm_groups = (
+        last_mile if last_mile is not None else (None, None, None)
+    )
+    ctx.pops = pop_sequence(trace, num_pops) if hierarchy is not None else None
+
+    ratio_array = predraw_ratios(topology, rng, total)
+    ctx.ratios = ratio_array.tolist() if ratio_array is not None else None
+    ctx.observed_seq = None
+
+    dense = (
+        mode in ("fast", "columnar", "columnar-event")
+        and dense_bound is not None
+        and isinstance(trace, ColumnarTrace)
+    )
+    if dense:
+        # Resolve every distinct object once (dense ids, list-indexed)
+        # and — when the variability model allows batched draws —
+        # vectorise the whole observed-bandwidth column (elementwise
+        # IEEE-identical to the scalar form).
+        ids_array = trace.object_ids_array
+        entries: List[Optional[tuple]] = [None] * (dense_bound + 1)
+        for object_id in np.unique(ids_array).tolist() if total else []:
+            entries[object_id] = _make_entry(catalog_get, path_for, object_id)
+        ctx.entries = entries
+        if ratio_array is not None and total:
+            base_lut = np.zeros(dense_bound + 1, dtype=np.float64)
+            for object_id, entry in enumerate(entries):
+                if entry is not None:
+                    base_lut[object_id] = entry[1]
+            observed_array = base_lut[ids_array] * ratio_array
+            np.maximum(observed_array, 1.0, out=observed_array)
+            ctx.observed_seq = observed_array.tolist()
+            ctx.ratios = None
+    else:
+        ctx.entries = _LazyEntries(catalog_get, path_for)
+
+    # Run state.
+    ctx.measuring = collector.measuring
+    ctx.m_requests = 0
+    ctx.m_bytes_cache = 0.0
+    ctx.m_bytes_server = 0.0
+    ctx.m_delay = 0.0
+    ctx.m_quality = 0.0
+    ctx.m_value = 0.0
+    ctx.m_hits = 0
+    ctx.m_immediate = 0
+    ctx.m_delayed = 0
+    ctx.m_delay_delayed = 0.0
+    ctx.m_failed = 0
+    ctx.m_stale = 0
+    ctx.m_retried = 0
+    ctx.m_retries = 0
+    ctx.warmup_count = 0
+    ctx.hits_by_object = {}
+    return ctx
+
+
+# ----------------------------------------------------------------------
+# The scalar service path.
+# ----------------------------------------------------------------------
+def serve_request(ctx: KernelContext, index: int, object_id: int, now: float) -> None:
+    """Serve one request through the canonical stage sequence.
+
+    Bit-identical to one iteration of :func:`serve_batch` (the batch
+    loop is this function with the context unpacked into locals).  Used
+    per request by the event-calendar driver, and by every driver when
+    ``ctx.stage_observer`` is installed.
+    """
+    observer = ctx.stage_observer
+
+    if now >= ctx.tl_boundary:
+        if observer is not None:
+            observer(index, "window")
+        ctx.tl_boundary = ctx.tl_close(now, ctx.snapshot_core())
+    if index == ctx.warmup_cutoff:
+        if observer is not None:
+            observer(index, "warmup")
+        ctx.measuring = True
+        ctx.collector.measuring = True
+    measuring = ctx.measuring
+
+    if observer is not None:
+        observer(index, "resolve")
+    entry = ctx.entries[object_id]
+    obj, base_bw, size, duration, bitrate, quantum, value, server_id, path = entry
+
+    if observer is not None:
+        observer(index, "bandwidth")
+    observed_seq = ctx.observed_seq
+    ratios = ctx.ratios
+    if observed_seq is not None:
+        observed = observed_seq[index]
+    elif ratios is not None:
+        observed = base_bw * ratios[index]
+        if observed < 1.0:
+            observed = 1.0
+    else:
+        observed = path.observed_bandwidth(ctx.rng)
+    origin_observed = observed
+    lm_observed = ctx.lm_observed
+    if lm_observed is not None:
+        cap = lm_observed[index]
+        if cap < observed:
+            observed = cap
+
+    if observer is not None:
+        observer(index, "belief")
+    estimator_estimate = ctx.estimator_estimate
+    if estimator_estimate is not None:
+        believed = estimator_estimate(server_id)
+    else:
+        believed = base_bw
+    prior_estimate = believed
+    lm_base = ctx.lm_base
+    if lm_base is not None:
+        cap = lm_base[index]
+        if cap < believed:
+            believed = cap
+    lm_groups = ctx.lm_groups
+
+    disposition = None
+    intercept = ctx.intercept
+    if intercept is not None:
+        if observer is not None:
+            observer(index, "faults")
+        disposition = intercept(
+            now,
+            server_id,
+            lm_groups[index] if lm_groups is not None else None,
+            origin_observed,
+            lm_observed[index] if lm_observed is not None else None,
+        )
+
+    hier_serve = ctx.hier_serve
+    pops = ctx.pops
+    if disposition is None or disposition[0] == 0:  # FETCH_OK
+        if disposition is not None:
+            observed = disposition[1]
+            origin_observed = disposition[2]
+        if hier_serve is not None:
+            if observer is not None:
+                observer(index, "residency")
+            cached, observed = hier_serve(
+                pops[index] if pops is not None else 0,
+                object_id,
+                obj,
+                size,
+                observed,
+                lm_observed[index] if lm_observed is not None else None,
+                believed,
+                prior_estimate,
+                now,
+                measuring,
+            )
+        stream_serve = ctx.stream_serve
+        if stream_serve is not None and object_id in ctx.stream_ids:
+            if observer is not None:
+                observer(index, "delivery")
+            s_cache, s_server, s_delay, s_quality, s_full = stream_serve(
+                object_id,
+                observed,
+                now,
+                measuring,
+                disposition[3] if disposition is not None else 0.0,
+            )
+            if measuring:
+                if observer is not None:
+                    observer(index, "metrics")
+                ctx.m_requests += 1
+                ctx.m_bytes_cache += s_cache
+                ctx.m_bytes_server += s_server
+                ctx.m_delay += s_delay
+                ctx.m_quality += s_quality
+                if s_delay <= 0.0:
+                    if s_full:
+                        ctx.m_value += value
+                    ctx.m_immediate += 1
+                else:
+                    ctx.m_delayed += 1
+                    ctx.m_delay_delayed += s_delay
+                if s_cache > 0:
+                    ctx.m_hits += 1
+                    hits_by_object = ctx.hits_by_object
+                    hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                if disposition is not None and disposition[4]:
+                    ctx.m_retried += 1
+                    ctx.m_retries += disposition[4]
+            else:
+                ctx.warmup_count += 1
+        elif measuring:
+            if hier_serve is None:
+                if observer is not None:
+                    observer(index, "residency")
+                cached = ctx.store_cached(object_id)
+
+            if observer is not None:
+                observer(index, "delivery")
+            # DeliverySession.outcome(), with identical floating-point
+            # operation order.
+            if cached > size:
+                cached = size
+            missing = size - duration * observed - cached
+            if missing <= 0:
+                delay = 0.0
+            elif observed <= 0:
+                delay = _INF
+            else:
+                delay = missing / observed
+            supported_rate = cached / duration + (observed if observed > 0.0 else 0.0)
+            fraction = supported_rate / bitrate
+            if fraction >= 1.0:
+                quality = 1.0
+            else:
+                quality = int(fraction / quantum + 1e-9) * quantum
+            if disposition is not None and disposition[3] > 0.0:
+                # Retry backoff delays playout start.
+                delay = delay + disposition[3]
+
+            if observer is not None:
+                observer(index, "metrics")
+            # MetricsCollector.record(), in the same order.
+            ctx.m_requests += 1
+            ctx.m_bytes_cache += cached
+            ctx.m_bytes_server += size - cached
+            ctx.m_delay += delay
+            ctx.m_quality += quality
+            if delay <= 0.0:
+                ctx.m_value += value
+                ctx.m_immediate += 1
+            else:
+                ctx.m_delayed += 1
+                ctx.m_delay_delayed += delay
+            if cached > 0:
+                ctx.m_hits += 1
+                hits_by_object = ctx.hits_by_object
+                hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+            if disposition is not None and disposition[4]:
+                ctx.m_retried += 1
+                ctx.m_retries += disposition[4]
+        else:
+            ctx.warmup_count += 1
+
+        if hier_serve is None:
+            if observer is not None:
+                observer(index, "policy")
+            ctx.policy_on_request(obj, believed, now, ctx.store)
+        estimator_observe = ctx.estimator_observe
+        if estimator_observe is not None:
+            if observer is not None:
+                observer(index, "passive")
+            estimator_observe(server_id, origin_observed)
+            rekeyer_request = ctx.rekeyer_request
+            if rekeyer_request is not None:
+                rekeyer_request(
+                    now,
+                    server_id,
+                    lm_groups[index] if lm_groups is not None else None,
+                    prior_estimate,
+                    observed,
+                )
+    else:
+        # Fetch failed after the retry budget: serve the cached prefix
+        # stale, or fail the request outright.  No policy stage — the
+        # origin is unreachable, so there is nothing to fetch or admit.
+        if observer is not None:
+            observer(index, "residency")
+        hier_edge = ctx.hier_edge
+        if hier_edge is not None:
+            cached = hier_edge(pops[index] if pops is not None else 0, object_id)
+        else:
+            cached = ctx.store_cached(object_id)
+        if observer is not None:
+            observer(index, "delivery")
+        if cached > size:
+            cached = size
+        stale = ctx.serve_stale and cached > 0.0
+        ctx.record_unserved(stale)
+        if measuring:
+            if observer is not None:
+                observer(index, "metrics")
+            waited = disposition[3]
+            ctx.m_requests += 1
+            if stale:
+                sq = stale_quality(cached, duration, bitrate, quantum)
+                ctx.m_bytes_cache += cached
+                ctx.m_quality += sq
+                ctx.m_hits += 1
+                hits_by_object = ctx.hits_by_object
+                hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                ctx.m_stale += 1
+            else:
+                sq = 0.0
+                ctx.m_failed += 1
+            ctx.m_delay += waited
+            ctx.m_delayed += 1
+            ctx.m_delay_delayed += waited
+            if disposition[4]:
+                ctx.m_retried += 1
+                ctx.m_retries += disposition[4]
+            stream_failed = ctx.stream_failed
+            if stream_failed is not None and object_id in ctx.stream_ids:
+                stream_failed(waited, sq)
+        else:
+            ctx.warmup_count += 1
+        estimator_observe = ctx.estimator_observe
+        if estimator_observe is not None:
+            if observer is not None:
+                observer(index, "passive")
+            estimator_observe(server_id, disposition[2])
+            rekeyer_request = ctx.rekeyer_request
+            if rekeyer_request is not None:
+                rekeyer_request(
+                    now,
+                    server_id,
+                    lm_groups[index] if lm_groups is not None else None,
+                    prior_estimate,
+                    disposition[1],
+                )
+    if ctx.verify_store:
+        if observer is not None:
+            observer(index, "verify")
+        if not ctx.verify_consistency():
+            raise AssertionError(
+                "cache store accounting became inconsistent "
+                f"after request {index} (object {object_id})"
+            )
+
+
+# ----------------------------------------------------------------------
+# The chunk-oriented service path.
+# ----------------------------------------------------------------------
+def serve_batch(
+    ctx: KernelContext,
+    ids: Sequence[int],
+    times: Sequence[float],
+    start: int,
+    stop: int,
+) -> None:
+    """Serve the trace run ``[start, stop)`` through the kernel.
+
+    The drivers guarantee no auxiliary event is due inside the run, so
+    the kernel owns the whole chunk: the context is unpacked into locals
+    once per chunk, the per-request sequence is the inlined twin of
+    :func:`serve_request` (same floating-point operation order — the
+    bit-identity contract), and the carried accumulators are written
+    back once at the end.  With a ``stage_observer`` installed the chunk
+    is routed through the scalar path instead, so the hot loop never
+    pays an instrumentation branch.
+    """
+    if stop <= start:
+        return
+    if ctx.stage_observer is not None:
+        for index in range(start, stop):
+            serve_request(ctx, index, ids[index], times[index])
+        return
+
+    # Unpack the context once per chunk.
+    warmup_cutoff = ctx.warmup_cutoff
+    verify_store = ctx.verify_store
+    verify_consistency = ctx.verify_consistency
+    store = ctx.store
+    store_cached = ctx.store_cached
+    policy_on_request = ctx.policy_on_request
+    collector = ctx.collector
+    estimator_estimate = ctx.estimator_estimate
+    estimator_observe = ctx.estimator_observe
+    rekeyer_request = ctx.rekeyer_request
+    intercept = ctx.intercept
+    record_unserved = ctx.record_unserved
+    serve_stale = ctx.serve_stale
+    stream_serve = ctx.stream_serve
+    stream_failed = ctx.stream_failed
+    stream_ids = ctx.stream_ids
+    hier_serve = ctx.hier_serve
+    hier_edge = ctx.hier_edge
+    tl_close = ctx.tl_close
+    rng = ctx.rng
+    entries = ctx.entries
+    observed_seq = ctx.observed_seq
+    ratios = ctx.ratios
+    lm_base = ctx.lm_base
+    lm_observed = ctx.lm_observed
+    lm_groups = ctx.lm_groups
+    pops = ctx.pops
+    inf = _INF
+
+    measuring = ctx.measuring
+    tl_boundary = ctx.tl_boundary
+    m_requests = ctx.m_requests
+    m_bytes_cache = ctx.m_bytes_cache
+    m_bytes_server = ctx.m_bytes_server
+    m_delay = ctx.m_delay
+    m_quality = ctx.m_quality
+    m_value = ctx.m_value
+    m_hits = ctx.m_hits
+    m_immediate = ctx.m_immediate
+    m_delayed = ctx.m_delayed
+    m_delay_delayed = ctx.m_delay_delayed
+    m_failed = ctx.m_failed
+    m_stale = ctx.m_stale
+    m_retried = ctx.m_retried
+    m_retries = ctx.m_retries
+    warmup_count = ctx.warmup_count
+    hits_by_object = ctx.hits_by_object
+
+    id_run = ids if start == 0 and stop == len(ids) else ids[start:stop]
+    for index, object_id in enumerate(id_run, start):
+        req_time = times[index]
+        if req_time >= tl_boundary:
+            tl_boundary = tl_close(
+                req_time,
+                (
+                    m_requests,
+                    m_bytes_cache,
+                    m_bytes_server,
+                    m_delay,
+                    m_quality,
+                    m_value,
+                    m_hits,
+                    m_immediate,
+                    m_delayed,
+                    m_delay_delayed,
+                    m_failed,
+                    m_stale,
+                    m_retried,
+                    m_retries,
+                ),
+            )
+        if index == warmup_cutoff:
+            measuring = True
+            collector.measuring = True
+
+        entry = entries[object_id]
+        obj, base_bw, size, duration, bitrate, quantum, value, server_id, path = entry
+
+        if observed_seq is not None:
+            observed = observed_seq[index]
+        elif ratios is not None:
+            observed = base_bw * ratios[index]
+            if observed < 1.0:
+                observed = 1.0
+        else:
+            observed = path.observed_bandwidth(rng)
+        origin_observed = observed
+        if lm_observed is not None:
+            cap = lm_observed[index]
+            if cap < observed:
+                observed = cap
+
+        if estimator_estimate is not None:
+            believed = estimator_estimate(server_id)
+        else:
+            believed = base_bw
+        prior_estimate = believed
+        if lm_base is not None:
+            cap = lm_base[index]
+            if cap < believed:
+                believed = cap
+
+        disposition = None
+        if intercept is not None:
+            disposition = intercept(
+                req_time,
+                server_id,
+                lm_groups[index] if lm_groups is not None else None,
+                origin_observed,
+                lm_observed[index] if lm_observed is not None else None,
+            )
+
+        if disposition is None or disposition[0] == 0:  # FETCH_OK
+            if disposition is not None:
+                observed = disposition[1]
+                origin_observed = disposition[2]
+            if hier_serve is not None:
+                cached, observed = hier_serve(
+                    pops[index] if pops is not None else 0,
+                    object_id,
+                    obj,
+                    size,
+                    observed,
+                    lm_observed[index] if lm_observed is not None else None,
+                    believed,
+                    prior_estimate,
+                    req_time,
+                    measuring,
+                )
+            if stream_serve is not None and object_id in stream_ids:
+                # Segment-aware session through the shared streaming
+                # engine; the accumulation below mirrors
+                # MetricsCollector.record_streaming() operation-for-
+                # operation.
+                s_cache, s_server, s_delay, s_quality, s_full = stream_serve(
+                    object_id,
+                    observed,
+                    req_time,
+                    measuring,
+                    disposition[3] if disposition is not None else 0.0,
+                )
+                if measuring:
+                    m_requests += 1
+                    m_bytes_cache += s_cache
+                    m_bytes_server += s_server
+                    m_delay += s_delay
+                    m_quality += s_quality
+                    if s_delay <= 0.0:
+                        if s_full:
+                            m_value += value
+                        m_immediate += 1
+                    else:
+                        m_delayed += 1
+                        m_delay_delayed += s_delay
+                    if s_cache > 0:
+                        m_hits += 1
+                        hits_by_object[object_id] = (
+                            hits_by_object.get(object_id, 0) + 1
+                        )
+                    if disposition is not None and disposition[4]:
+                        m_retried += 1
+                        m_retries += disposition[4]
+                else:
+                    warmup_count += 1
+            elif measuring:
+                if hier_serve is None:
+                    cached = store_cached(object_id)
+
+                # DeliverySession.outcome(), inlined with identical
+                # floating-point operation order.
+                if cached > size:
+                    cached = size
+                missing = size - duration * observed - cached
+                if missing <= 0:
+                    delay = 0.0
+                elif observed <= 0:
+                    delay = inf
+                else:
+                    delay = missing / observed
+                supported_rate = cached / duration + (
+                    observed if observed > 0.0 else 0.0
+                )
+                fraction = supported_rate / bitrate
+                if fraction >= 1.0:
+                    quality = 1.0
+                else:
+                    quality = int(fraction / quantum + 1e-9) * quantum
+                if disposition is not None and disposition[3] > 0.0:
+                    # Retry backoff delays playout start.
+                    delay = delay + disposition[3]
+
+                # MetricsCollector.record(), inlined in the same order.
+                m_requests += 1
+                m_bytes_cache += cached
+                m_bytes_server += size - cached
+                m_delay += delay
+                m_quality += quality
+                if delay <= 0.0:
+                    m_value += value
+                    m_immediate += 1
+                else:
+                    m_delayed += 1
+                    m_delay_delayed += delay
+                if cached > 0:
+                    m_hits += 1
+                    hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                if disposition is not None and disposition[4]:
+                    m_retried += 1
+                    m_retries += disposition[4]
+            else:
+                warmup_count += 1
+
+            if hier_serve is None:
+                policy_on_request(obj, believed, req_time, store)
+            if estimator_observe is not None:
+                estimator_observe(server_id, origin_observed)
+                if rekeyer_request is not None:
+                    rekeyer_request(
+                        req_time,
+                        server_id,
+                        lm_groups[index] if lm_groups is not None else None,
+                        prior_estimate,
+                        observed,
+                    )
+        else:
+            # Fetch failed after the retry budget: serve the cached
+            # prefix stale, or fail the request outright.  No
+            # policy_on_request — the origin is unreachable, so there
+            # is nothing to fetch or admit.
+            if hier_edge is not None:
+                cached = hier_edge(
+                    pops[index] if pops is not None else 0, object_id
+                )
+            else:
+                cached = store_cached(object_id)
+            if cached > size:
+                cached = size
+            stale = serve_stale and cached > 0.0
+            record_unserved(stale)
+            if measuring:
+                waited = disposition[3]
+                m_requests += 1
+                if stale:
+                    sq = stale_quality(cached, duration, bitrate, quantum)
+                    m_bytes_cache += cached
+                    m_quality += sq
+                    m_hits += 1
+                    hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
+                    m_stale += 1
+                else:
+                    sq = 0.0
+                    m_failed += 1
+                m_delay += waited
+                m_delayed += 1
+                m_delay_delayed += waited
+                if disposition[4]:
+                    m_retried += 1
+                    m_retries += disposition[4]
+                if stream_failed is not None and object_id in stream_ids:
+                    stream_failed(waited, sq)
+            else:
+                warmup_count += 1
+            if estimator_observe is not None:
+                estimator_observe(server_id, disposition[2])
+                if rekeyer_request is not None:
+                    rekeyer_request(
+                        req_time,
+                        server_id,
+                        lm_groups[index] if lm_groups is not None else None,
+                        prior_estimate,
+                        disposition[1],
+                    )
+        if verify_store and not verify_consistency():
+            raise AssertionError(
+                "cache store accounting became inconsistent "
+                f"after request {index} (object {object_id})"
+            )
+
+    # Write the carried state back for the next chunk / finish().
+    ctx.measuring = measuring
+    ctx.tl_boundary = tl_boundary
+    ctx.m_requests = m_requests
+    ctx.m_bytes_cache = m_bytes_cache
+    ctx.m_bytes_server = m_bytes_server
+    ctx.m_delay = m_delay
+    ctx.m_quality = m_quality
+    ctx.m_value = m_value
+    ctx.m_hits = m_hits
+    ctx.m_immediate = m_immediate
+    ctx.m_delayed = m_delayed
+    ctx.m_delay_delayed = m_delay_delayed
+    ctx.m_failed = m_failed
+    ctx.m_stale = m_stale
+    ctx.m_retried = m_retried
+    ctx.m_retries = m_retries
+    ctx.warmup_count = warmup_count
+    ctx.hits_by_object = hits_by_object

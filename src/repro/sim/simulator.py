@@ -13,35 +13,42 @@ policy, following the paper's methodology (Sections 3 and 4.1):
   outcome *before* letting the policy react, so metrics reflect the cache
   state a real client would have found.
 
-The simulator has three replay paths that produce bit-identical metrics
-(see ``docs/architecture.md`` for the selection diagram):
+Since the kernel refactor, the per-request service sequence lives in one
+place — :mod:`repro.sim.kernel` — and the simulator's replay paths are
+thin *drivers* that own only iteration order, auxiliary-event merging,
+and pre-drawn column access (see ``docs/architecture.md`` for the
+kernel + drivers diagram).  All four produce bit-identical metrics:
 
-* the **event-calendar path** dispatches every request through the
-  discrete-event engine, so arbitrary auxiliary events (anything a subclass
-  schedules through :meth:`ProxyCacheSimulator.schedule_auxiliary_events`)
-  compose naturally with the request stream,
-* the **fast path**, used automatically when no auxiliary events are
-  scheduled, iterates the trace in a tight loop — no per-request ``Event``
-  allocation, no heap churn, per-request bandwidth-variability draws
-  pre-batched through numpy — which is several times faster on long traces.
-  When the workload carries a :class:`~repro.trace.columnar.ColumnarTrace`,
-  the fast path iterates the trace's numpy columns directly, skipping
-  ``Request`` objects entirely, and
-* the **columnar event path**, used when *typed* periodic events
+* the **event-calendar driver** (:meth:`ProxyCacheSimulator._replay_events`)
+  dispatches every request through the discrete-event engine, so arbitrary
+  auxiliary events (anything a subclass schedules through
+  :meth:`ProxyCacheSimulator.schedule_auxiliary_events`) compose naturally
+  with the request stream; each request is served by
+  :func:`repro.sim.kernel.serve_request`,
+* the **fast driver**, used automatically when no auxiliary events are
+  scheduled, hands the whole trace to
+  :func:`repro.sim.kernel.serve_batch` as one chunk — no per-request
+  ``Event`` allocation, no heap churn, per-request bandwidth-variability
+  draws pre-batched through numpy,
+* the **columnar fast driver**, used when the workload carries a dense-id
+  :class:`~repro.trace.columnar.ColumnarTrace`: the kernel context
+  carries prefilled per-object entries and a fully vectorised
+  observed-bandwidth column, skipping ``Request`` objects entirely, and
+* the **columnar event driver**, used when *typed* periodic events
   (:mod:`repro.sim.events`, e.g. periodic bandwidth re-measurement from
   :attr:`~repro.sim.config.SimulationConfig.remeasurement`) are scheduled
-  over a dense-id columnar trace: the event calendar iterates the trace's
-  numpy columns directly — no per-event ``Request`` boxing — merging the
-  auxiliary events into the request stream by ``(time, priority)``.  With
-  no auxiliary events scheduled it performs exactly the columnar fast
-  loop's arithmetic, so its metrics are bit-identical to the other paths.
+  over a dense-id columnar trace: the driver splits the trace into the
+  longest runs uninterrupted by auxiliary events — merged by ``(time,
+  priority)`` exactly as the discrete-event engine orders them — and
+  serves each run through :func:`repro.sim.kernel.serve_batch`.
 
 Per-client last-mile bandwidth
 (:attr:`~repro.sim.config.SimulationConfig.client_clouds`) composes onto
 every path identically: the last-mile sequences are resolved once per run
-before replay starts (:meth:`ProxyCacheSimulator._last_mile_sequences`),
-and each request's delivered bandwidth becomes the bottleneck of its two
-hops — see ``docs/clients.md``.
+by the kernel context builder
+(:func:`repro.sim.kernel.last_mile_sequences`), and each request's
+delivered bandwidth becomes the bottleneck of its two hops — see
+``docs/clients.md``.
 """
 
 from __future__ import annotations
@@ -66,23 +73,20 @@ from repro.sim.events import (
     ReactiveRekeyer,
     build_remeasurement_events,
 )
-from repro.sim.faults import (
-    FETCH_OK,
-    FaultInjector,
-    FaultReport,
-    stale_quality,
-)
+from repro.sim.faults import FaultInjector, FaultReport
 from repro.sim.hierarchy import HierarchyEngine, HierarchyReport
+from repro.sim.kernel import KernelContext, build_context, serve_batch, serve_request
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.streaming import StreamingDeliveryEngine, StreamingReport
-from repro.streaming.session import DeliverySession
 from repro.trace.columnar import ColumnarTrace
 from repro.workload.gismo import Workload
 
 
 #: Replay-path names accepted by :meth:`ProxyCacheSimulator.run`'s
-#: ``replay`` argument (``"auto"`` resolves to one of the other three).
-REPLAY_PATHS = ("auto", "event", "fast", "columnar-event")
+#: ``replay`` argument (``"auto"`` resolves to one of the others;
+#: ``"columnar"`` forces the dense columnar loop explicitly and is never
+#: picked by ``"auto"``, which reports the equivalent run as ``"fast"``).
+REPLAY_PATHS = ("auto", "event", "fast", "columnar", "columnar-event")
 
 #: Entropy tag mixed into the client-cloud generator's seed so last-mile
 #: construction and per-request last-mile draws never collide with the
@@ -94,12 +98,13 @@ _CLIENT_CLOUD_STREAM_TAG = 0x434C49
 class SimulationResult:
     """Everything a single simulation run produces.
 
-    ``replay_path`` records which replay loop ran (``"event"``, ``"fast"``,
-    or ``"columnar-event"``); ``used_fast_path`` is kept as the legacy
-    boolean view of the same fact.  ``auxiliary_events_fired`` counts typed
-    periodic-event firings (e.g. bandwidth re-measurements), and
-    ``measurement_log`` carries their per-server sample statistics when the
-    run had re-measurement configured.  ``reactive_shifts`` /
+    ``replay_path`` records which replay driver ran (``"event"``,
+    ``"fast"``, ``"columnar"``, or ``"columnar-event"``);
+    ``used_fast_path`` is kept as the legacy boolean view of the same
+    fact (true for both tight-loop drivers).  ``auxiliary_events_fired``
+    counts typed periodic-event firings (e.g. bandwidth re-measurements),
+    and ``measurement_log`` carries their per-server sample statistics
+    when the run had re-measurement configured.  ``reactive_shifts`` /
     ``reactive_rekeys`` count the threshold crossings and heap entries
     re-keyed by the reactive hook
     (:attr:`~repro.sim.config.SimulationConfig.reactive_threshold`);
@@ -127,7 +132,7 @@ class SimulationResult:
     :attr:`~repro.sim.config.SimulationConfig.observability` block:
     ``timeline`` is the finished windowed
     :class:`~repro.obs.timeline.MetricsTimeline` (path-identical across
-    all four replay loops), and ``profile`` the per-stage wall-clock
+    all four replay drivers), and ``profile`` the per-stage wall-clock
     report of :class:`~repro.obs.profiling.StageProfiler`.
     ``heap_statistics`` is recorded on every run whose policy exposes it
     (the heap-backed paper policies do): peak/live/stale entry counts and
@@ -290,79 +295,13 @@ class ProxyCacheSimulator:
             )
         )
 
-    def _last_mile_sequences(
-        self, topology: DeliveryTopology, trace
-    ) -> Optional[tuple]:
-        """Per-request last-mile ``(base, observed, group)`` sequences.
-
-        Returns ``None`` when the topology's client cloud has no modeled
-        last-mile paths — the replay loops then skip the composition
-        entirely, reproducing the pre-heterogeneity arithmetic exactly.
-
-        Otherwise every request is resolved to its client's group path
-        (``client_id % groups``) and three aligned lists are returned: the
-        group's *base* bandwidth (what the cache believes its own last mile
-        sustains — the cache knows its client side, so no estimator is
-        involved), the *observed* last-mile bandwidth for that request
-        (base modulated by the group's variability model), and the
-        request's client-group index (consumed by the reactive rekeyer's
-        per-group anchors; see :mod:`repro.sim.events`).  All draws come
-        from the cloud's dedicated generator, in request order, computed
-        once per run *before* replay starts — which is what makes the
-        composition bit-identical across all four replay paths by
-        construction.
-        """
-        cloud = topology.clients
-        paths = getattr(cloud, "paths", None)
-        if not paths:
-            return None
-        total = len(trace)
-        if isinstance(trace, ColumnarTrace):
-            client_ids = trace.client_ids_array.astype(np.int64, copy=False)
-        else:
-            client_ids = np.fromiter(
-                (request.client_id for request in trace), dtype=np.int64, count=total
-            )
-        groups = client_ids % len(paths)
-        base_lut = np.array([path.base_bandwidth for path in paths], dtype=np.float64)
-        base = base_lut[groups]
-
-        rng = np.random.default_rng(self._client_cloud_seed(1))
-        model = paths[0].variability
-        shared = all(path.variability is model for path in paths)
-        if shared and getattr(model, "iid_batch_equivalent", False) and total:
-            ratios = np.asarray(model.sample_ratio(rng, size=total), dtype=np.float64)
-            observed = base * ratios
-            np.maximum(observed, 1.0, out=observed)
-        else:
-            observed = np.empty(total, dtype=np.float64)
-            group_list = groups.tolist()
-            for index in range(total):
-                observed[index] = paths[group_list[index]].observed_bandwidth(rng)
-        return base.tolist(), observed.tolist(), groups.tolist()
-
-    def _pop_sequence(self, trace) -> Optional[List[int]]:
-        """Per-request pop indices (``client_id % num_pops``), resolved once.
-
-        Mirrors the affinity rule of :meth:`_last_mile_sequences` (clients
-        are pinned by id modulo the replica count).  Returns ``None`` for a
-        single-pop hierarchy so the replay loops skip the lookup entirely.
-        """
-        num_pops = self.config.hierarchy.num_pops
-        if num_pops <= 1:
-            return None
-        if isinstance(trace, ColumnarTrace):
-            return (
-                trace.client_ids_array.astype(np.int64, copy=False) % num_pops
-            ).tolist()
-        return [request.client_id % num_pops for request in trace]
-
     def run(
         self,
         policy,
         topology: Optional[DeliveryTopology] = None,
         use_fast_path: Optional[bool] = None,
         replay: Optional[str] = None,
+        stage_observer=None,
     ) -> SimulationResult:
         """Run the simulation for one policy.
 
@@ -381,16 +320,22 @@ class ProxyCacheSimulator:
             ``replay="fast"``, ``False`` to ``replay="event"``.  Ignored
             when ``replay`` is given.
         replay:
-            Which replay loop to use — one of :data:`REPLAY_PATHS`.
+            Which replay driver to use — one of :data:`REPLAY_PATHS`.
             ``None``/``"auto"`` (default) picks automatically: the fast
             path when no auxiliary events exist, the columnar event path
             when only *typed* periodic events are scheduled over a dense-id
             columnar trace, the classic event-calendar path otherwise.
-            Forcing ``"fast"`` raises
+            Forcing ``"fast"`` or ``"columnar"`` raises
             :class:`~repro.exceptions.SimulationError` if auxiliary events
-            would be dropped; forcing ``"columnar-event"`` raises unless
-            the workload trace is dense columnar and no untyped engine
-            events are scheduled.  All paths produce bit-identical metrics.
+            would be dropped; ``"columnar"`` and ``"columnar-event"``
+            additionally require a dense-id columnar workload trace.  All
+            drivers produce bit-identical metrics.
+        stage_observer:
+            Kernel-conformance instrumentation hook: a callable invoked as
+            ``observer(index, stage)`` at every executed kernel stage (see
+            :data:`repro.sim.kernel.KERNEL_STAGES`).  Installing one routes
+            every request through the scalar kernel path —
+            bit-identical, but slower; intended for tests.
         """
         obs = self.config.observability
         profiler: Optional[StageProfiler] = None
@@ -531,22 +476,48 @@ class ProxyCacheSimulator:
             replay, use_fast_path, have_hook_events, have_typed_events, dense_bound
         )
 
-        last_mile = self._last_mile_sequences(topology, trace)
-        pops = self._pop_sequence(trace) if hierarchy is not None else None
-        # Passive-driven re-keying: the replay loops notify the rekeyer
-        # after every request's estimator update (docs/events.md).
-        passive_rekeyer = rekeyer if self.config.reactive_passive else None
-
         if profiler is not None:
             # Instance-attribute wrappers shadow the bound methods the
-            # replay loops localise; detach_all() removes them again so
-            # profiling leaves no trace on the shared objects.
+            # kernel context binds; detach_all() removes them again so
+            # profiling leaves no trace on the shared objects.  The
+            # context is built *after* attach so it captures the
+            # wrappers.
             profiler.attach(policy, "on_request", "policy_ops")
             if estimator is not None:
                 profiler.attach(estimator, "estimate", "estimator")
                 profiler.attach(estimator, "observe", "estimator")
             if injector is not None:
                 profiler.attach(injector, "intercept", "fault_evaluation")
+
+        # One kernel context per run: every driver delegates the whole
+        # per-request service sequence (repro.sim.kernel) to it, and the
+        # passive-driven rekeyer is notified after every request's
+        # estimator update, in the same position on every driver
+        # (docs/events.md).
+        ctx = build_context(
+            catalog=self.workload.catalog,
+            trace=trace,
+            topology=topology,
+            policy=policy,
+            store=store,
+            collector=collector,
+            estimator=estimator,
+            rekeyer=rekeyer if self.config.reactive_passive else None,
+            injector=injector,
+            timeline=timeline,
+            streaming=streaming,
+            hierarchy=hierarchy,
+            rng=rng,
+            mode=mode,
+            dense_bound=dense_bound,
+            warmup_cutoff=warmup_cutoff,
+            verify_store=self.config.verify_store,
+            num_pops=(
+                self.config.hierarchy.num_pops if hierarchy is not None else 1
+            ),
+            client_cloud_seed=self._client_cloud_seed(1),
+            stage_observer=stage_observer,
+        )
 
         if sink is not None:
             sink.emit(
@@ -562,60 +533,15 @@ class ProxyCacheSimulator:
         replay_started = _time.perf_counter() if profiler is not None else 0.0
         try:
             if mode == "fast":
-                self._replay_fast(
-                    policy,
-                    topology,
-                    store,
-                    collector,
-                    estimator,
-                    rng,
-                    warmup_cutoff,
-                    last_mile,
-                    passive_rekeyer,
-                    injector,
-                    timeline,
-                    streaming,
-                    hierarchy,
-                    pops,
-                )
+                self._replay_fast(ctx)
+            elif mode == "columnar":
+                self._replay_fast_columnar(ctx)
             elif mode == "columnar-event":
-                self._replay_events_columnar(
-                    schedule,
-                    policy,
-                    topology,
-                    store,
-                    collector,
-                    estimator,
-                    rng,
-                    warmup_cutoff,
-                    dense_bound,
-                    last_mile,
-                    passive_rekeyer,
-                    injector,
-                    timeline,
-                    streaming,
-                    hierarchy,
-                    pops,
-                )
+                self._replay_events_columnar(ctx, schedule)
             else:
                 schedule.schedule_into(engine)
-                self._replay_events(
-                    engine,
-                    policy,
-                    topology,
-                    store,
-                    collector,
-                    estimator,
-                    rng,
-                    warmup_cutoff,
-                    last_mile,
-                    passive_rekeyer,
-                    injector,
-                    timeline,
-                    streaming,
-                    hierarchy,
-                    pops,
-                )
+                self._replay_events(ctx, engine)
+            ctx.finish()
 
             if timeline is not None:
                 timeline.finish(
@@ -659,7 +585,7 @@ class ProxyCacheSimulator:
                 len(store) if hierarchy is None else hierarchy.total_cached_objects()
             ),
             warmup_requests=collector.warmup_requests,
-            used_fast_path=mode == "fast",
+            used_fast_path=mode in ("fast", "columnar"),
             replay_path=mode,
             auxiliary_events_fired=schedule.fired,
             measurement_log=measurement_log,
@@ -689,7 +615,7 @@ class ProxyCacheSimulator:
         have_typed_events: bool,
         dense_bound: Optional[int],
     ) -> str:
-        """Pick the replay loop from the request and the scheduled events."""
+        """Pick the replay driver from the request and the scheduled events."""
         if replay is None:
             replay = {None: "auto", True: "fast", False: "event"}[use_fast_path]
         if replay not in REPLAY_PATHS:
@@ -702,10 +628,15 @@ class ProxyCacheSimulator:
             if have_typed_events:
                 return "columnar-event" if dense_bound is not None else "event"
             return "fast"
-        if replay == "fast" and (have_hook_events or have_typed_events):
+        if replay in ("fast", "columnar") and (have_hook_events or have_typed_events):
             raise SimulationError(
-                "replay='fast' but auxiliary events are scheduled; "
-                "the fast path would not dispatch them"
+                f"replay={replay!r} but auxiliary events are scheduled; "
+                "this driver would not dispatch them"
+            )
+        if replay == "columnar" and dense_bound is None:
+            raise SimulationError(
+                "replay='columnar' requires a dense-id ColumnarTrace "
+                "workload; use replay='fast' for this trace"
             )
         if replay == "columnar-event":
             if have_hook_events:
@@ -721,1083 +652,125 @@ class ProxyCacheSimulator:
         return replay
 
     # ------------------------------------------------------------------
-    # The event-calendar replay path.
+    # The event-calendar driver.
     # ------------------------------------------------------------------
-    def _replay_events(
-        self,
-        engine: SimulationEngine,
-        policy,
-        topology: DeliveryTopology,
-        store: CacheStore,
-        collector: MetricsCollector,
-        estimator: Optional[PassiveEstimator],
-        rng: np.random.Generator,
-        warmup_cutoff: int,
-        last_mile: Optional[tuple] = None,
-        rekeyer: Optional[ReactiveRekeyer] = None,
-        injector: Optional[FaultInjector] = None,
-        timeline: Optional[MetricsTimeline] = None,
-        streaming: Optional[StreamingDeliveryEngine] = None,
-        hierarchy: Optional[HierarchyEngine] = None,
-        pops: Optional[List[int]] = None,
-    ) -> None:
+    def _replay_events(self, ctx: KernelContext, engine: SimulationEngine) -> None:
         """Dispatch every request through the discrete-event engine.
 
-        ``last_mile`` (from :meth:`_last_mile_sequences`) composes the
-        cache-to-client hop into each request: the delivered bandwidth is
-        the bottleneck of the origin draw and the client's last-mile draw,
-        and the bandwidth the policy believes is capped by the client
-        group's last-mile base.  The passive estimator keeps observing the
-        *origin* draw — it estimates the cache-to-server hop, which the
-        cache cannot conflate with its own (known) client side.  ``rekeyer``
-        (set when the run is passive-driven reactive) is notified after the
-        estimator update, in the same position on every replay path.
-
-        ``injector`` (set when the config has
-        :attr:`~repro.sim.config.SimulationConfig.faults`) intercepts every
-        fetch *after* the bandwidth draws and belief lookup, at the same
-        sequence point as the tight loops: an untouched request runs the
-        exact pre-fault code below, a degraded/retried one folds its
-        backoff wait into the service delay, and a failed fetch serves the
-        cached prefix stale (or fails) without consulting the policy — an
-        unreachable origin has nothing to admit.
-
-        ``streaming`` (set when the config has
-        :attr:`~repro.sim.config.SimulationConfig.streaming`) serves
-        stream-object requests as segment-aware delivery sessions through
-        the shared :class:`~repro.sim.streaming.StreamingDeliveryEngine`
-        at this same sequence point — the policy / estimator / rekeyer
-        calls that follow are untouched, which is what keeps the QoE
-        metrics bit-identical across all four replay paths.
-
-        ``hierarchy`` (set when the config has
-        :attr:`~repro.sim.config.SimulationConfig.hierarchy`) routes every
-        successful fetch through the shared
-        :class:`~repro.sim.hierarchy.HierarchyEngine` at the same sequence
-        point on every path: the engine resolves the client's pop
-        (``pops``, or pop 0 throughout), reads the edge residency, walks
-        the miss up the tier chain (or to a sibling pop), runs each
-        consulted tier's own policy, and hands back the ``(cached,
-        bandwidth)`` pair the delivery arithmetic below consumes — so the
-        single-proxy ``policy.on_request`` is skipped.  Failed fetches
-        serve stale from the client's edge cache.
+        The driver owns scheduling only: every request becomes one engine
+        event, interleaved with whatever auxiliary events were scheduled,
+        and the handler delegates the entire service sequence to
+        :func:`repro.sim.kernel.serve_request`.  The engine fires
+        same-time auxiliary events (negative priority) before the request
+        handler, so the kernel's timeline snapshot sits at exactly the
+        sequence point the columnar drivers snapshot at — that is what
+        makes the markers path-identical.
         """
-        catalog = self.workload.catalog
-        stream_ids = streaming.stream_ids if streaming is not None else None
-        lm_base, lm_observed, lm_groups = (
-            last_mile if last_mile is not None else (None, None, None)
-        )
-        # Timeline boundary: the engine fires same-time auxiliary events
-        # (negative priority) before the request handler, so a snapshot at
-        # the top of handle_request sits at exactly the sequence point the
-        # columnar loops snapshot at (after fire_before, before warm-up
-        # flip) — that is what makes the markers path-identical.
-        tl_boundary = timeline.first_boundary if timeline is not None else float("inf")
 
         def handle_request(engine: SimulationEngine, payload) -> None:
-            nonlocal tl_boundary
             index, request = payload
-            if request.time >= tl_boundary:
-                tl_boundary = timeline.close(request.time, collector.snapshot())
-            if index == warmup_cutoff:
-                collector.measuring = True
-            obj = catalog.get(request.object_id)
-            path = topology.path_for(obj)
-            observed_bandwidth = path.observed_bandwidth(rng)
-            origin_observed = observed_bandwidth
-            lm_draw = None
-            if lm_observed is not None:
-                lm_draw = lm_observed[index]
-                if lm_draw < observed_bandwidth:
-                    observed_bandwidth = lm_draw
-            if estimator is not None:
-                believed_bandwidth = estimator.estimate(obj.server_id)
-            else:
-                believed_bandwidth = path.base_bandwidth
-            prior_estimate = believed_bandwidth
-            if lm_base is not None:
-                cap = lm_base[index]
-                if cap < believed_bandwidth:
-                    believed_bandwidth = cap
-            group = lm_groups[index] if lm_groups is not None else None
-
-            disposition = None
-            if injector is not None:
-                disposition = injector.intercept(
-                    engine.now, obj.server_id, group, origin_observed, lm_draw
-                )
-
-            if disposition is None or disposition[0] == FETCH_OK:
-                if disposition is not None:
-                    observed_bandwidth = disposition[1]
-                    origin_observed = disposition[2]
-                if stream_ids is not None and request.object_id in stream_ids:
-                    s_cache, s_server, s_delay, s_quality, s_full = streaming.serve(
-                        obj.object_id,
-                        observed_bandwidth,
-                        engine.now,
-                        collector.measuring,
-                        disposition[3] if disposition is not None else 0.0,
-                    )
-                    collector.record_streaming(
-                        obj.object_id,
-                        s_cache,
-                        s_server,
-                        s_delay,
-                        s_quality,
-                        obj.value,
-                        s_full,
-                        disposition[4] if disposition is not None else 0,
-                    )
-                else:
-                    if hierarchy is not None:
-                        cached_before, observed_bandwidth = hierarchy.serve(
-                            pops[index] if pops is not None else 0,
-                            obj.object_id,
-                            obj,
-                            obj.size,
-                            observed_bandwidth,
-                            lm_draw,
-                            believed_bandwidth,
-                            prior_estimate,
-                            engine.now,
-                            collector.measuring,
-                        )
-                    else:
-                        cached_before = store.cached_bytes(obj.object_id)
-                    outcome = DeliverySession(
-                        obj, cached_before, observed_bandwidth
-                    ).outcome()
-                    if disposition is None:
-                        collector.record(outcome)
-                    else:
-                        delay = outcome.service_delay
-                        waited = disposition[3]
-                        if waited > 0.0:
-                            delay = delay + waited
-                        collector.record_served_fault(
-                            obj.object_id,
-                            outcome.bytes_from_cache,
-                            outcome.bytes_from_server,
-                            delay,
-                            outcome.stream_quality,
-                            outcome.value,
-                            disposition[4],
-                        )
-                if hierarchy is None:
-                    policy.on_request(obj, believed_bandwidth, engine.now, store)
-                if estimator is not None:
-                    estimator.observe(obj.server_id, origin_observed)
-                    if rekeyer is not None:
-                        rekeyer.observe_request(
-                            engine.now,
-                            obj.server_id,
-                            group,
-                            prior_estimate,
-                            observed_bandwidth,
-                        )
-            else:
-                # Fetch failed after the retry budget: serve the cached
-                # prefix stale, or fail the request outright.
-                if hierarchy is not None:
-                    cached = hierarchy.edge_cached(
-                        pops[index] if pops is not None else 0, obj.object_id
-                    )
-                else:
-                    cached = store.cached_bytes(obj.object_id)
-                size = obj.size
-                if cached > size:
-                    cached = size
-                stale = injector.serve_stale and cached > 0.0
-                injector.record_unserved(stale)
-                waited = disposition[3]
-                quality = (
-                    stale_quality(cached, obj.duration, obj.bitrate, 1.0 / obj.layers)
-                    if stale
-                    else 0.0
-                )
-                collector.record_unserved(
-                    obj.object_id,
-                    cached,
-                    waited,
-                    quality,
-                    disposition[4],
-                    stale,
-                )
-                if (
-                    stream_ids is not None
-                    and request.object_id in stream_ids
-                    and collector.measuring
-                ):
-                    streaming.record_failed(waited, quality)
-                # No policy.on_request: the origin is unreachable, so
-                # there is nothing to fetch or admit.  The estimator still
-                # observes the collapsed sample — that is how the reactive
-                # machinery sees the outage.
-                if estimator is not None:
-                    estimator.observe(obj.server_id, disposition[2])
-                    if rekeyer is not None:
-                        rekeyer.observe_request(
-                            engine.now,
-                            obj.server_id,
-                            group,
-                            prior_estimate,
-                            disposition[1],
-                        )
-            if self.config.verify_store and not (
-                store.verify_consistency()
-                if hierarchy is None
-                else hierarchy.verify_consistency()
-            ):
-                raise AssertionError(
-                    "cache store accounting became inconsistent "
-                    f"after request {index} (object {obj.object_id})"
-                )
+            serve_request(ctx, index, request.object_id, engine.now)
 
         for index, request in enumerate(self.workload.trace):
             engine.schedule(request.time, handle_request, (index, request))
         engine.run()
 
     # ------------------------------------------------------------------
-    # The fast replay path.
+    # The fast driver.
     # ------------------------------------------------------------------
-    def _predraw_ratios(
-        self, topology: DeliveryTopology, rng: np.random.Generator, count: int
-    ) -> Optional[np.ndarray]:
-        """Draw all per-request variability ratios in one numpy batch.
+    def _replay_fast(self, ctx: KernelContext) -> None:
+        """Serve the whole trace as one kernel chunk, no event calendar.
 
-        Only legal when every path shares one variability model whose batched
-        draws consume the generator exactly like per-request draws
-        (``iid_batch_equivalent``); returns ``None`` otherwise, in which case
-        the fast path falls back to per-request sampling.
+        The driver owns column extraction only: it pulls the two request
+        fields the kernel needs (object id, time) into flat lists — one
+        batch ``tolist`` per column for a columnar trace, one attribute
+        pass for ``Request`` objects — and hands the full range to
+        :func:`repro.sim.kernel.serve_batch`.  Dense-id columnar traces
+        take the dedicated columnar driver, whose kernel context carries
+        prefilled entries and a vectorised bandwidth column.
         """
-        model = None
-        for path in topology.paths:
-            if model is None:
-                model = path.variability
-            elif path.variability is not model:
-                return None
-        if model is None or not getattr(model, "iid_batch_equivalent", False):
-            return None
-        if count == 0:
-            return np.empty(0)
-        return np.asarray(model.sample_ratio(rng, size=count), dtype=np.float64)
-
-    def _replay_fast(
-        self,
-        policy,
-        topology: DeliveryTopology,
-        store: CacheStore,
-        collector: MetricsCollector,
-        estimator: Optional[PassiveEstimator],
-        rng: np.random.Generator,
-        warmup_cutoff: int,
-        last_mile: Optional[tuple] = None,
-        rekeyer: Optional[ReactiveRekeyer] = None,
-        injector: Optional[FaultInjector] = None,
-        timeline: Optional[MetricsTimeline] = None,
-        streaming: Optional[StreamingDeliveryEngine] = None,
-        hierarchy: Optional[HierarchyEngine] = None,
-        pops: Optional[List[int]] = None,
-    ) -> None:
-        """Iterate the trace in a tight loop, bypassing the event calendar.
-
-        Replicates the per-request arithmetic of
-        :class:`~repro.streaming.session.DeliverySession` and
-        :meth:`~repro.sim.metrics.MetricsCollector.record` operation-for-
-        operation (same floating-point order), so the resulting metrics are
-        bit-identical to the event path's.  Warm-up requests skip the
-        delivery-outcome arithmetic entirely — their outcomes are never
-        recorded — and all metric sums accumulate in locals, merged into the
-        collector once at the end.  ``last_mile`` composes the per-client
-        hop exactly as in :meth:`_replay_events`.
-        """
-        catalog = self.workload.catalog
         trace = self.workload.trace
-
-        # Dense columnar traces take the dedicated array-native loop.
-        is_columnar = isinstance(trace, ColumnarTrace)
-        if is_columnar:
-            max_id = _dense_id_bound(trace)
-            if max_id is not None:
-                return self._replay_fast_columnar(
-                    policy,
-                    topology,
-                    store,
-                    collector,
-                    estimator,
-                    rng,
-                    warmup_cutoff,
-                    max_id,
-                    last_mile,
-                    rekeyer,
-                    injector,
-                    timeline,
-                    streaming,
-                    hierarchy,
-                    pops,
-                )
-
-        ratio_array = self._predraw_ratios(topology, rng, len(trace))
-
-        # Localise everything touched per request.
-        catalog_get = catalog.get
-        path_for = topology.path_for
-        store_cached = store.cached_bytes
-        policy_on_request = policy.on_request
-        estimator_estimate = estimator.estimate if estimator is not None else None
-        estimator_observe = estimator.observe if estimator is not None else None
-        verify_store = self.config.verify_store
-        verify_consistency = (
-            store.verify_consistency if hierarchy is None else hierarchy.verify_consistency
-        )
-        hier_serve = hierarchy.serve if hierarchy is not None else None
-        hier_edge = hierarchy.edge_cached if hierarchy is not None else None
-        inf = float("inf")
-
-        # Per-object resolution cache: (obj, base_bw, size, duration,
-        # bitrate, quantum, value, server_id).  ``base_bw`` is immutable for
-        # the duration of a run (the floor from build_topology is applied
-        # before replay starts), so caching it is safe.
-        resolved: Dict[int, tuple] = {}
-        ratios = ratio_array.tolist() if ratio_array is not None else None
-        lm_base, lm_observed, lm_groups = (
-            last_mile if last_mile is not None else (None, None, None)
-        )
-        rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
-        intercept = injector.intercept if injector is not None else None
-        serve_stale = injector.serve_stale if injector is not None else False
-        stream_serve = streaming.serve if streaming is not None else None
-        stream_failed = streaming.record_failed if streaming is not None else None
-        stream_ids = streaming.stream_ids if streaming is not None else None
-
-        measuring = collector.measuring
-        m_requests = 0
-        m_bytes_cache = 0.0
-        m_bytes_server = 0.0
-        m_delay = 0.0
-        m_quality = 0.0
-        m_value = 0.0
-        m_hits = 0
-        m_immediate = 0
-        m_delayed = 0
-        m_delay_delayed = 0.0
-        m_failed = 0
-        m_stale = 0
-        m_retried = 0
-        m_retries = 0
-        warmup_count = 0
-        hits_by_object: Dict[int, int] = {}
-
-        # Timeline boundary check: one float compare per request; with no
-        # timeline the boundary is +inf and the branch never runs.  The
-        # snapshot tuple is built inline — a helper closing over the m_*
-        # locals would turn them into cell variables and slow the whole
-        # loop even when the timeline is disabled.
-        tl_close = timeline.close if timeline is not None else None
-        tl_boundary = timeline.first_boundary if timeline is not None else inf
-
-        # Pre-extract the two request fields the loop needs.  A non-dense
-        # columnar trace hands its arrays over directly (one batch
-        # ``tolist`` per column, native scalars, no Request boxing); an
-        # object trace pays one attribute-access pass, which on 10^5-10^6
-        # Request objects adds up.
-        if is_columnar:
-            # Lazy zip on purpose: consuming it in the loop is cheaper than
-            # materializing 10^5-10^6 fresh tuples up front.
-            request_fields = zip(
-                trace.object_ids_array.tolist(), trace.times_array.tolist()
-            )
+        if isinstance(trace, ColumnarTrace):
+            if ctx.dense_bound is not None:
+                return self._replay_fast_columnar(ctx)
+            ids = trace.object_ids_array.tolist()
+            times = trace.times_array.tolist()
         else:
-            request_fields = [(request.object_id, request.time) for request in trace]
-
-        for index, (object_id, req_time) in enumerate(request_fields):
-            if req_time >= tl_boundary:
-                tl_boundary = tl_close(
-                    req_time,
-                    (
-                        m_requests,
-                        m_bytes_cache,
-                        m_bytes_server,
-                        m_delay,
-                        m_quality,
-                        m_value,
-                        m_hits,
-                        m_immediate,
-                        m_delayed,
-                        m_delay_delayed,
-                        m_failed,
-                        m_stale,
-                        m_retried,
-                        m_retries,
-                    ),
-                )
-            if index == warmup_cutoff:
-                measuring = True
-            entry = resolved.get(object_id)
-            if entry is None:
-                obj = catalog_get(object_id)
-                path = path_for(obj)
-                entry = (
-                    obj,
-                    path.base_bandwidth,
-                    obj.duration * obj.bitrate,
-                    obj.duration,
-                    obj.bitrate,
-                    1.0 / obj.layers,
-                    obj.value,
-                    obj.server_id,
-                    path,
-                )
-                resolved[object_id] = entry
-            obj, base_bw, size, duration, bitrate, quantum, value, server_id, path = entry
-
-            if ratios is not None:
-                observed = base_bw * ratios[index]
-                if observed < 1.0:
-                    observed = 1.0
-            else:
-                observed = path.observed_bandwidth(rng)
-            origin_observed = observed
-            if lm_observed is not None:
-                cap = lm_observed[index]
-                if cap < observed:
-                    observed = cap
-
-            if estimator_estimate is not None:
-                believed = estimator_estimate(server_id)
-            else:
-                believed = base_bw
-            prior_estimate = believed
-            if lm_base is not None:
-                cap = lm_base[index]
-                if cap < believed:
-                    believed = cap
-
-            disposition = None
-            if intercept is not None:
-                disposition = intercept(
-                    req_time,
-                    server_id,
-                    lm_groups[index] if lm_groups is not None else None,
-                    origin_observed,
-                    lm_observed[index] if lm_observed is not None else None,
-                )
-
-            if hier_serve is None:
-                cached = store_cached(object_id)
-
-            if disposition is None or disposition[0] == 0:  # FETCH_OK
-                if disposition is not None:
-                    observed = disposition[1]
-                    origin_observed = disposition[2]
-                if hier_serve is not None:
-                    cached, observed = hier_serve(
-                        pops[index] if pops is not None else 0,
-                        object_id,
-                        obj,
-                        size,
-                        observed,
-                        lm_observed[index] if lm_observed is not None else None,
-                        believed,
-                        prior_estimate,
-                        req_time,
-                        measuring,
-                    )
-                if stream_serve is not None and object_id in stream_ids:
-                    # Segment-aware session through the shared streaming
-                    # engine; the accumulation below mirrors
-                    # MetricsCollector.record_streaming() operation-for-
-                    # operation.
-                    s_cache, s_server, s_delay, s_quality, s_full = stream_serve(
-                        object_id,
-                        observed,
-                        req_time,
-                        measuring,
-                        disposition[3] if disposition is not None else 0.0,
-                    )
-                    if measuring:
-                        m_requests += 1
-                        m_bytes_cache += s_cache
-                        m_bytes_server += s_server
-                        m_delay += s_delay
-                        m_quality += s_quality
-                        if s_delay <= 0.0:
-                            if s_full:
-                                m_value += value
-                            m_immediate += 1
-                        else:
-                            m_delayed += 1
-                            m_delay_delayed += s_delay
-                        if s_cache > 0:
-                            m_hits += 1
-                            hits_by_object[object_id] = (
-                                hits_by_object.get(object_id, 0) + 1
-                            )
-                        if disposition is not None and disposition[4]:
-                            m_retried += 1
-                            m_retries += disposition[4]
-                    else:
-                        warmup_count += 1
-                elif measuring:
-                    # DeliverySession.outcome(), inlined with identical
-                    # floating-point operation order.
-                    if cached > size:
-                        cached = size
-                    missing = size - duration * observed - cached
-                    if missing <= 0:
-                        delay = 0.0
-                    elif observed <= 0:
-                        delay = inf
-                    else:
-                        delay = missing / observed
-                    supported_rate = cached / duration + (
-                        observed if observed > 0.0 else 0.0
-                    )
-                    fraction = supported_rate / bitrate
-                    if fraction >= 1.0:
-                        quality = 1.0
-                    else:
-                        quality = int(fraction / quantum + 1e-9) * quantum
-                    if disposition is not None and disposition[3] > 0.0:
-                        # Retry backoff delays playout start.
-                        delay = delay + disposition[3]
-
-                    # MetricsCollector.record(), inlined in the same order.
-                    m_requests += 1
-                    m_bytes_cache += cached
-                    m_bytes_server += size - cached
-                    m_delay += delay
-                    m_quality += quality
-                    if delay <= 0.0:
-                        m_value += value
-                        m_immediate += 1
-                    else:
-                        m_delayed += 1
-                        m_delay_delayed += delay
-                    if cached > 0:
-                        m_hits += 1
-                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
-                    if disposition is not None and disposition[4]:
-                        m_retried += 1
-                        m_retries += disposition[4]
-                else:
-                    warmup_count += 1
-
-                if hier_serve is None:
-                    policy_on_request(obj, believed, req_time, store)
-                if estimator_observe is not None:
-                    estimator_observe(server_id, origin_observed)
-                    if rekeyer_request is not None:
-                        rekeyer_request(
-                            req_time,
-                            server_id,
-                            lm_groups[index] if lm_groups is not None else None,
-                            prior_estimate,
-                            observed,
-                        )
-            else:
-                # Fetch failed after the retry budget: serve the cached
-                # prefix stale, or fail the request outright.  No
-                # policy_on_request — the origin is unreachable, so there
-                # is nothing to fetch or admit.
-                if hier_edge is not None:
-                    cached = hier_edge(
-                        pops[index] if pops is not None else 0, object_id
-                    )
-                if cached > size:
-                    cached = size
-                stale = serve_stale and cached > 0.0
-                injector.record_unserved(stale)
-                if measuring:
-                    waited = disposition[3]
-                    m_requests += 1
-                    if stale:
-                        sq = stale_quality(cached, duration, bitrate, quantum)
-                        m_bytes_cache += cached
-                        m_quality += sq
-                        m_hits += 1
-                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
-                        m_stale += 1
-                    else:
-                        sq = 0.0
-                        m_failed += 1
-                    m_delay += waited
-                    m_delayed += 1
-                    m_delay_delayed += waited
-                    if disposition[4]:
-                        m_retried += 1
-                        m_retries += disposition[4]
-                    if stream_failed is not None and object_id in stream_ids:
-                        stream_failed(waited, sq)
-                else:
-                    warmup_count += 1
-                if estimator_observe is not None:
-                    estimator_observe(server_id, disposition[2])
-                    if rekeyer_request is not None:
-                        rekeyer_request(
-                            req_time,
-                            server_id,
-                            lm_groups[index] if lm_groups is not None else None,
-                            prior_estimate,
-                            disposition[1],
-                        )
-            if verify_store and not verify_consistency():
-                raise AssertionError(
-                    "cache store accounting became inconsistent "
-                    f"after request {index} (object {object_id})"
-                )
-
-        collector.measuring = measuring
-        collector.absorb(
-            requests=m_requests,
-            bytes_from_cache=m_bytes_cache,
-            bytes_from_server=m_bytes_server,
-            delay_sum=m_delay,
-            quality_sum=m_quality,
-            value_sum=m_value,
-            hits=m_hits,
-            immediate=m_immediate,
-            delayed=m_delayed,
-            delay_sum_delayed=m_delay_delayed,
-            warmup_requests=warmup_count,
-            failed=m_failed,
-            stale_served=m_stale,
-            retried=m_retried,
-            total_retries=m_retries,
-            per_object_hits=hits_by_object,
-        )
+            ids = [request.object_id for request in trace]
+            times = [request.time for request in trace]
+        serve_batch(ctx, ids, times, 0, len(ids))
 
     # ------------------------------------------------------------------
-    # The columnar fast replay path.
+    # The columnar fast driver.
     # ------------------------------------------------------------------
-    def _replay_fast_columnar(
-        self,
-        policy,
-        topology: DeliveryTopology,
-        store: CacheStore,
-        collector: MetricsCollector,
-        estimator: Optional[PassiveEstimator],
-        rng: np.random.Generator,
-        warmup_cutoff: int,
-        max_id: int,
-        last_mile: Optional[tuple] = None,
-        rekeyer: Optional[ReactiveRekeyer] = None,
-        injector: Optional[FaultInjector] = None,
-        timeline: Optional[MetricsTimeline] = None,
-        streaming: Optional[StreamingDeliveryEngine] = None,
-        hierarchy: Optional[HierarchyEngine] = None,
-        pops: Optional[List[int]] = None,
-    ) -> None:
+    def _replay_fast_columnar(self, ctx: KernelContext) -> None:
         """Array-native replay for dense-id :class:`ColumnarTrace` workloads.
 
         This is :meth:`_replay_events_columnar` with an empty auxiliary
-        schedule: the event merge degenerates to one list-truthiness check
-        per request, so a single loop serves both the columnar fast path
-        and the columnar event path — one copy of the bit-identical
-        arithmetic to maintain instead of two.
+        schedule: the event merge degenerates to a single full-trace
+        kernel chunk, so one driver serves both the columnar fast path
+        and the columnar event path.
         """
-        self._replay_events_columnar(
-            AuxiliarySchedule(),
-            policy,
-            topology,
-            store,
-            collector,
-            estimator,
-            rng,
-            warmup_cutoff,
-            max_id,
-            last_mile,
-            rekeyer,
-            injector,
-            timeline,
-            streaming,
-            hierarchy,
-            pops,
-        )
+        self._replay_events_columnar(ctx, AuxiliarySchedule())
 
     # ------------------------------------------------------------------
-    # The columnar event path: array-native replay + auxiliary events.
+    # The columnar event driver: chunked replay + auxiliary events.
     # ------------------------------------------------------------------
     def _replay_events_columnar(
-        self,
-        schedule: AuxiliarySchedule,
-        policy,
-        topology: DeliveryTopology,
-        store: CacheStore,
-        collector: MetricsCollector,
-        estimator: Optional[PassiveEstimator],
-        rng: np.random.Generator,
-        warmup_cutoff: int,
-        max_id: int,
-        last_mile: Optional[tuple] = None,
-        rekeyer: Optional[ReactiveRekeyer] = None,
-        injector: Optional[FaultInjector] = None,
-        timeline: Optional[MetricsTimeline] = None,
-        streaming: Optional[StreamingDeliveryEngine] = None,
-        hierarchy: Optional[HierarchyEngine] = None,
-        pops: Optional[List[int]] = None,
+        self, ctx: KernelContext, schedule: AuxiliarySchedule
     ) -> None:
         """Event-capable replay over a dense-id columnar trace.
 
-        Iterates the trace's numpy columns directly — no per-event
-        ``Request`` or ``Event`` boxing — while merging the typed auxiliary
-        events of ``schedule`` into the request stream by ``(time,
-        priority)``, exactly as the discrete-event engine orders them
-        (auxiliary priorities are non-zero by construction, so the merge is
-        never ambiguous).
-
-        The per-request arithmetic is operation-for-operation identical to
-        :meth:`_replay_fast` (and therefore to every other path): with no
-        auxiliary events scheduled the metrics are **bit-identical** to the
-        fast/columnar loops.  Auxiliary events draw from their own random
-        generators (see :mod:`repro.sim.events`), so the request stream's
-        pre-drawn bandwidth ratios stay valid even while events fire
-        between requests.  ``last_mile`` composes the per-client hop
-        exactly as in :meth:`_replay_events`.
+        The driver owns the auxiliary-event merge only: it splits the
+        trace into the longest runs of requests uninterrupted by an
+        auxiliary event — ordered by ``(time, priority)`` exactly as the
+        discrete-event engine would interleave them (auxiliary priorities
+        are non-zero by construction, so the merge is never ambiguous) —
+        fires the due events between runs, and serves each run through
+        :func:`repro.sim.kernel.serve_batch`.  Auxiliary events draw from
+        their own random generators (see :mod:`repro.sim.events`), so the
+        kernel's pre-drawn bandwidth ratios stay valid even while events
+        fire between chunks.  With no auxiliary events scheduled the
+        whole trace is one chunk — the columnar fast path.
         """
-        catalog = self.workload.catalog
         trace: ColumnarTrace = self.workload.trace
-        total = len(trace)
-        ratio_array = self._predraw_ratios(topology, rng, total)
-
-        # Localise everything touched per request.
-        catalog_get = catalog.get
-        path_for = topology.path_for
-        store_cached = store.cached_bytes
-        policy_on_request = policy.on_request
-        estimator_estimate = estimator.estimate if estimator is not None else None
-        estimator_observe = estimator.observe if estimator is not None else None
-        verify_store = self.config.verify_store
-        verify_consistency = (
-            store.verify_consistency if hierarchy is None else hierarchy.verify_consistency
-        )
-        hier_serve = hierarchy.serve if hierarchy is not None else None
-        hier_edge = hierarchy.edge_cached if hierarchy is not None else None
-        inf = float("inf")
-
-        ids_array = trace.object_ids_array
-        ids_list = ids_array.tolist()
-        times_list = trace.times_array.tolist()
-
-        # Resolve every distinct object once (dense ids, list-indexed).
-        entries: List[Optional[tuple]] = [None] * (max_id + 1)
-        for object_id in (np.unique(ids_array).tolist() if total else []):
-            obj = catalog_get(object_id)
-            path = path_for(obj)
-            entries[object_id] = (
-                obj,
-                path.base_bandwidth,
-                obj.duration * obj.bitrate,
-                obj.duration,
-                obj.bitrate,
-                1.0 / obj.layers,
-                obj.value,
-                obj.server_id,
-                path,
-            )
-
-        # Vectorised observed bandwidth when the variability model allows
-        # batched draws (elementwise IEEE-identical to the scalar form).
-        observed_seq: Optional[List[float]] = None
-        if ratio_array is not None and total:
-            base_lut = np.zeros(max_id + 1, dtype=np.float64)
-            for object_id, entry in enumerate(entries):
-                if entry is not None:
-                    base_lut[object_id] = entry[1]
-            observed_array = base_lut[ids_array] * ratio_array
-            np.maximum(observed_array, 1.0, out=observed_array)
-            observed_seq = observed_array.tolist()
-
-        lm_base, lm_observed, lm_groups = (
-            last_mile if last_mile is not None else (None, None, None)
-        )
-        rekeyer_request = rekeyer.observe_request if rekeyer is not None else None
-        intercept = injector.intercept if injector is not None else None
-        serve_stale = injector.serve_stale if injector is not None else False
-        stream_serve = streaming.serve if streaming is not None else None
-        stream_failed = streaming.record_failed if streaming is not None else None
-        stream_ids = streaming.stream_ids if streaming is not None else None
+        times_array = trace.times_array
+        ids = trace.object_ids_array.tolist()
+        times = times_array.tolist()
+        total = len(ids)
 
         aux_heap = schedule.begin()
         fire_before = schedule.fire_before
 
-        # Timeline boundary check: one float compare per request; with no
-        # timeline the boundary is +inf and the branch never runs.  The
-        # snapshot tuple is built inline — a helper closing over the m_*
-        # locals would turn them into cell variables and slow the whole
-        # loop even when the timeline is disabled.
-        tl_close = timeline.close if timeline is not None else None
-        tl_boundary = timeline.first_boundary if timeline is not None else inf
-
-        measuring = collector.measuring
-        m_requests = 0
-        m_bytes_cache = 0.0
-        m_bytes_server = 0.0
-        m_delay = 0.0
-        m_quality = 0.0
-        m_value = 0.0
-        m_hits = 0
-        m_immediate = 0
-        m_delayed = 0
-        m_delay_delayed = 0.0
-        m_failed = 0
-        m_stale = 0
-        m_retried = 0
-        m_retries = 0
-        warmup_count = 0
-        hits_by_object: Dict[int, int] = {}
-
-        for index, object_id in enumerate(ids_list):
-            req_time = times_list[index]
-            # Fire every auxiliary event the engine would have run before
-            # this request (strictly earlier time, or same time with a
-            # negative priority).  The guard keeps the empty-schedule case
-            # — the columnar fast path — at one truthiness check.
-            if aux_heap and (aux_heap[0][0], aux_heap[0][1]) < (req_time, 0):
-                fire_before(req_time)
-            if req_time >= tl_boundary:
-                tl_boundary = tl_close(
-                    req_time,
-                    (
-                        m_requests,
-                        m_bytes_cache,
-                        m_bytes_server,
-                        m_delay,
-                        m_quality,
-                        m_value,
-                        m_hits,
-                        m_immediate,
-                        m_delayed,
-                        m_delay_delayed,
-                        m_failed,
-                        m_stale,
-                        m_retried,
-                        m_retries,
-                    ),
+        start = 0
+        while start < total:
+            if not aux_heap:
+                serve_batch(ctx, ids, times, start, total)
+                break
+            head_time = aux_heap[0][0]
+            head_priority = aux_heap[0][1]
+            if (head_time, head_priority) < (times[start], 0):
+                # The engine would run this event before the next
+                # request (strictly earlier time, or same time with a
+                # negative priority).
+                fire_before(times[start])
+                continue
+            # The longest run the head event does not interrupt: requests
+            # strictly before the event under the engine's (time,
+            # priority) order.  Guaranteed non-empty — the head is not
+            # due before request ``start`` (checked above).
+            stop = int(
+                np.searchsorted(
+                    times_array,
+                    head_time,
+                    side="left" if head_priority < 0 else "right",
                 )
-            if index == warmup_cutoff:
-                measuring = True
+            )
+            if stop > total:
+                stop = total
+            serve_batch(ctx, ids, times, start, stop)
+            start = stop
 
-            entry = entries[object_id]
-            obj, base_bw, size, duration, bitrate, quantum, value, server_id, path = entry
-
-            if observed_seq is not None:
-                observed = observed_seq[index]
-            else:
-                observed = path.observed_bandwidth(rng)
-            origin_observed = observed
-            if lm_observed is not None:
-                cap = lm_observed[index]
-                if cap < observed:
-                    observed = cap
-
-            if estimator_estimate is not None:
-                believed = estimator_estimate(server_id)
-            else:
-                believed = base_bw
-            prior_estimate = believed
-            if lm_base is not None:
-                cap = lm_base[index]
-                if cap < believed:
-                    believed = cap
-
-            disposition = None
-            if intercept is not None:
-                disposition = intercept(
-                    req_time,
-                    server_id,
-                    lm_groups[index] if lm_groups is not None else None,
-                    origin_observed,
-                    lm_observed[index] if lm_observed is not None else None,
-                )
-
-            if disposition is None or disposition[0] == 0:  # FETCH_OK
-                if disposition is not None:
-                    observed = disposition[1]
-                    origin_observed = disposition[2]
-                if hier_serve is not None:
-                    cached, observed = hier_serve(
-                        pops[index] if pops is not None else 0,
-                        object_id,
-                        obj,
-                        size,
-                        observed,
-                        lm_observed[index] if lm_observed is not None else None,
-                        believed,
-                        prior_estimate,
-                        req_time,
-                        measuring,
-                    )
-                if stream_serve is not None and object_id in stream_ids:
-                    # Segment-aware session through the shared streaming
-                    # engine; the accumulation below mirrors
-                    # MetricsCollector.record_streaming() operation-for-
-                    # operation.
-                    s_cache, s_server, s_delay, s_quality, s_full = stream_serve(
-                        object_id,
-                        observed,
-                        req_time,
-                        measuring,
-                        disposition[3] if disposition is not None else 0.0,
-                    )
-                    if measuring:
-                        m_requests += 1
-                        m_bytes_cache += s_cache
-                        m_bytes_server += s_server
-                        m_delay += s_delay
-                        m_quality += s_quality
-                        if s_delay <= 0.0:
-                            if s_full:
-                                m_value += value
-                            m_immediate += 1
-                        else:
-                            m_delayed += 1
-                            m_delay_delayed += s_delay
-                        if s_cache > 0:
-                            m_hits += 1
-                            hits_by_object[object_id] = (
-                                hits_by_object.get(object_id, 0) + 1
-                            )
-                        if disposition is not None and disposition[4]:
-                            m_retried += 1
-                            m_retries += disposition[4]
-                    else:
-                        warmup_count += 1
-                elif measuring:
-                    if hier_serve is None:
-                        cached = store_cached(object_id)
-
-                    # DeliverySession.outcome(), inlined with identical
-                    # floating-point operation order.
-                    if cached > size:
-                        cached = size
-                    missing = size - duration * observed - cached
-                    if missing <= 0:
-                        delay = 0.0
-                    elif observed <= 0:
-                        delay = inf
-                    else:
-                        delay = missing / observed
-                    supported_rate = cached / duration + (
-                        observed if observed > 0.0 else 0.0
-                    )
-                    fraction = supported_rate / bitrate
-                    if fraction >= 1.0:
-                        quality = 1.0
-                    else:
-                        quality = int(fraction / quantum + 1e-9) * quantum
-                    if disposition is not None and disposition[3] > 0.0:
-                        # Retry backoff delays playout start.
-                        delay = delay + disposition[3]
-
-                    # MetricsCollector.record(), inlined in the same order.
-                    m_requests += 1
-                    m_bytes_cache += cached
-                    m_bytes_server += size - cached
-                    m_delay += delay
-                    m_quality += quality
-                    if delay <= 0.0:
-                        m_value += value
-                        m_immediate += 1
-                    else:
-                        m_delayed += 1
-                        m_delay_delayed += delay
-                    if cached > 0:
-                        m_hits += 1
-                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
-                    if disposition is not None and disposition[4]:
-                        m_retried += 1
-                        m_retries += disposition[4]
-                else:
-                    warmup_count += 1
-
-                if hier_serve is None:
-                    policy_on_request(obj, believed, req_time, store)
-                if estimator_observe is not None:
-                    estimator_observe(server_id, origin_observed)
-                    if rekeyer_request is not None:
-                        rekeyer_request(
-                            req_time,
-                            server_id,
-                            lm_groups[index] if lm_groups is not None else None,
-                            prior_estimate,
-                            observed,
-                        )
-            else:
-                # Fetch failed after the retry budget: serve the cached
-                # prefix stale, or fail the request outright.  No
-                # policy_on_request — the origin is unreachable, so there
-                # is nothing to fetch or admit.
-                if hier_edge is not None:
-                    cached = hier_edge(
-                        pops[index] if pops is not None else 0, object_id
-                    )
-                else:
-                    cached = store_cached(object_id)
-                if cached > size:
-                    cached = size
-                stale = serve_stale and cached > 0.0
-                injector.record_unserved(stale)
-                if measuring:
-                    waited = disposition[3]
-                    m_requests += 1
-                    if stale:
-                        sq = stale_quality(cached, duration, bitrate, quantum)
-                        m_bytes_cache += cached
-                        m_quality += sq
-                        m_hits += 1
-                        hits_by_object[object_id] = hits_by_object.get(object_id, 0) + 1
-                        m_stale += 1
-                    else:
-                        sq = 0.0
-                        m_failed += 1
-                    m_delay += waited
-                    m_delayed += 1
-                    m_delay_delayed += waited
-                    if disposition[4]:
-                        m_retried += 1
-                        m_retries += disposition[4]
-                    if stream_failed is not None and object_id in stream_ids:
-                        stream_failed(waited, sq)
-                else:
-                    warmup_count += 1
-                if estimator_observe is not None:
-                    estimator_observe(server_id, disposition[2])
-                    if rekeyer_request is not None:
-                        rekeyer_request(
-                            req_time,
-                            server_id,
-                            lm_groups[index] if lm_groups is not None else None,
-                            prior_estimate,
-                            disposition[1],
-                        )
-            if verify_store and not verify_consistency():
-                raise AssertionError(
-                    "cache store accounting became inconsistent "
-                    f"after request {index} (object {object_id})"
-                )
-
-        # Auxiliary events scheduled after the last request still fire, just
-        # as the engine would have drained them.
+        # Auxiliary events scheduled after the last request still fire,
+        # just as the engine would have drained them.
         schedule.drain()
-
-        collector.measuring = measuring
-        collector.absorb(
-            requests=m_requests,
-            bytes_from_cache=m_bytes_cache,
-            bytes_from_server=m_bytes_server,
-            delay_sum=m_delay,
-            quality_sum=m_quality,
-            value_sum=m_value,
-            hits=m_hits,
-            immediate=m_immediate,
-            delayed=m_delayed,
-            delay_sum_delayed=m_delay_delayed,
-            warmup_requests=warmup_count,
-            failed=m_failed,
-            stale_served=m_stale,
-            retried=m_retried,
-            total_retries=m_retries,
-            per_object_hits=hits_by_object,
-        )

@@ -47,7 +47,7 @@ def run_replay_paths(workload, config, policy_name="PB", hierarchy=None):
     grid = (
         ("event", plain, "event"),
         ("fast", plain, "fast"),
-        ("columnar-fast", columnar, "fast"),
+        ("columnar-fast", columnar, "columnar"),
         ("columnar-event", columnar, "columnar-event"),
     )
     return {

@@ -95,6 +95,39 @@ def test_interpreter_bound_overheads_get_the_wider_band():
     )
 
 
+def test_absolute_ceiling_fails_even_without_a_baseline():
+    """The kernel overhead ratio is an acceptance criterion: its absolute
+    1.05 ceiling applies whenever the current file records the ratio, even
+    when the baseline predates the kernel section entirely."""
+    current = json.loads(json.dumps(BASELINE))
+    current["kernel"] = {"overhead_ratio_vs_pre_kernel": 1.12}
+    problems = check_bench.check(BASELINE, current)
+    assert any(
+        "kernel.overhead_ratio_vs_pre_kernel" in p and "absolute ceiling" in p
+        for p in problems
+    )
+
+    within = json.loads(json.dumps(BASELINE))
+    within["kernel"] = {"overhead_ratio_vs_pre_kernel": 1.03}
+    assert check_bench.check(BASELINE, within) == []
+
+
+def test_absolute_ceiling_caps_the_relative_band():
+    """A noise-low committed baseline must not let the wide relative band
+    admit a ratio past the hard 1.05 acceptance ceiling."""
+    baseline = json.loads(json.dumps(BASELINE))
+    baseline["kernel"] = {"overhead_ratio_vs_pre_kernel": 0.90}
+    # 0.90 * 1.40 = 1.26 relative ceiling, but the absolute 1.05 still bites.
+    over = json.loads(json.dumps(baseline))
+    over["kernel"]["overhead_ratio_vs_pre_kernel"] = 1.10
+    problems = check_bench.check(baseline, over)
+    assert any("absolute ceiling" in p for p in problems)
+
+    under = json.loads(json.dumps(baseline))
+    under["kernel"]["overhead_ratio_vs_pre_kernel"] = 1.04
+    assert check_bench.check(baseline, under) == []
+
+
 def test_tolerance_is_configurable():
     slightly_heavier = json.loads(json.dumps(BASELINE))
     slightly_heavier["client_clouds"]["overhead_ratio_vs_uniform"] = 1.4 * 1.1

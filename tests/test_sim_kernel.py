@@ -1,0 +1,303 @@
+"""Conformance suite for the unified request-service kernel.
+
+The kernel contract (:mod:`repro.sim.kernel`) has three observable
+promises, each pinned here:
+
+* **Canonical stage order** — every request's executed stages, as seen by
+  a ``stage_observer``, are a subsequence of
+  :data:`~repro.sim.kernel.KERNEL_STAGES`, and the full emitted trace is
+  *identical* across all four replay drivers — the drivers own iteration
+  order, never the service sequence.
+* **Degenerate transparency** — with every optional subsystem off, the
+  kernel-unified simulator reproduces the pre-kernel seed behaviour
+  bit-for-bit (golden fixture captured before the refactor).
+* **Observer transparency** — installing a ``stage_observer`` routes
+  requests through the scalar kernel path; the metrics must not move.
+
+The seam itself (drivers must not call subsystem internals) is enforced
+statically by ``scripts/check_kernel.py`` (``make kernel-check``), whose
+detector is exercised against synthetic violations at the bottom.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import replace as _replace
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import run_replay_paths
+from repro.core.policies import make_policy
+from repro.network.distributions import NLANRBandwidthDistribution
+from repro.sim.config import BandwidthKnowledge, ClientCloudConfig, SimulationConfig
+from repro.sim.faults import FaultConfig
+from repro.sim.hierarchy import CacheTier, HierarchyConfig
+from repro.sim.kernel import KERNEL_STAGES
+from repro.sim.simulator import ProxyCacheSimulator
+from repro.sim.streaming import StreamingConfig
+from repro.trace.columnar import ColumnarTrace
+from repro.workload.gismo import GismoWorkloadGenerator, WorkloadConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import check_kernel  # noqa: E402  (scripts/ is not a package)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "kernel_degenerate_golden.json"
+
+_STAGE_INDEX = {stage: position for position, stage in enumerate(KERNEL_STAGES)}
+
+
+@lru_cache(maxsize=None)
+def _workload(seed: int = 7):
+    return GismoWorkloadGenerator(
+        WorkloadConfig(num_objects=50, num_requests=1_500, num_servers=10, seed=seed)
+    ).generate()
+
+
+def _config(**overrides) -> SimulationConfig:
+    base = dict(cache_size_gb=1.0, seed=5, verify_store=True)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+#: Config variants that light up different kernel stages: each optional
+#: subsystem must emit the same stage trace on every driver.
+STAGE_CONFIGS = {
+    "plain": lambda: _config(),
+    "passive-reactive": lambda: _config(
+        bandwidth_knowledge=BandwidthKnowledge.PASSIVE,
+        reactive_threshold=0.15,
+        reactive_passive=True,
+        reactive_hysteresis=0.05,
+    ),
+    "faults": lambda: _config(
+        faults=FaultConfig(
+            random_origin_outages=2,
+            random_bandwidth_flaps=3,
+            mean_duration_s=500.0,
+            seed=3,
+        )
+    ),
+    "streaming": lambda: _config(streaming=StreamingConfig(fraction=1.0, seed=2)),
+    "clouds": lambda: _config(
+        client_clouds=ClientCloudConfig(
+            groups=4, distribution=NLANRBandwidthDistribution()
+        )
+    ),
+    "hierarchy": lambda: _config(
+        hierarchy=HierarchyConfig(
+            tiers=(
+                CacheTier(name="edge", cache_kb=200_000.0, uplink_bandwidth=50.0),
+                CacheTier(name="parent", cache_kb=800_000.0, uplink_bandwidth=40.0),
+            ),
+            num_pops=2,
+        )
+    ),
+}
+
+
+def _stage_traces(workload, config, policy_name="PB"):
+    """Replay on all four drivers with a recording stage observer.
+
+    Returns ``{label: [(index, stage), ...]}`` — the full per-run stage
+    emission in execution order, plus the results for metric checks.
+    """
+    trace = workload.trace
+    if isinstance(trace, ColumnarTrace):
+        columnar, plain = workload, _replace(
+            workload, trace=trace.to_request_trace()
+        )
+    else:
+        columnar = _replace(
+            workload, trace=ColumnarTrace.from_request_trace(trace)
+        )
+        plain = workload
+    grid = (
+        ("event", plain, "event"),
+        ("fast", plain, "fast"),
+        ("columnar-fast", columnar, "columnar"),
+        ("columnar-event", columnar, "columnar-event"),
+    )
+    traces, results = {}, {}
+    for label, wl, replay in grid:
+        emitted = []
+        results[label] = ProxyCacheSimulator(wl, config).run(
+            make_policy(policy_name),
+            replay=replay,
+            stage_observer=lambda index, stage, _out=emitted: _out.append(
+                (index, stage)
+            ),
+        )
+        traces[label] = emitted
+    return traces, results
+
+
+def _assert_canonical(trace) -> None:
+    """Every request's stages are ordered as KERNEL_STAGES orders them."""
+    last_position = {}
+    for index, stage in trace:
+        assert stage in _STAGE_INDEX, stage
+        position = _STAGE_INDEX[stage]
+        if index in last_position:
+            assert position >= last_position[index], (
+                f"request {index}: stage {stage!r} fired after a "
+                f"later-canonical stage"
+            )
+        last_position[index] = position
+
+
+@pytest.mark.parametrize("variant", sorted(STAGE_CONFIGS))
+def test_stage_traces_canonical_and_driver_identical(variant):
+    """All four drivers emit the same stages in the same canonical order."""
+    traces, results = _stage_traces(_workload(), STAGE_CONFIGS[variant]())
+    reference = traces["event"]
+    assert reference, "observer saw no stages"
+    served = {stage for _, stage in reference}
+    assert "resolve" in served and "delivery" in served
+    _assert_canonical(reference)
+    for label, trace in traces.items():
+        assert trace == reference, (variant, label)
+    # Observation must not perturb the simulation itself.
+    metrics_reference = results["event"].as_dict()
+    for label, result in results.items():
+        assert result.as_dict() == metrics_reference, (variant, label)
+
+
+def test_subsystem_stages_fire_only_when_configured():
+    """The optional stages appear exactly when their subsystem is on."""
+    plain_traces, _ = _stage_traces(_workload(), STAGE_CONFIGS["plain"]())
+    plain_stages = {stage for _, stage in plain_traces["event"]}
+    assert "faults" not in plain_stages
+    assert "passive" not in plain_stages
+    assert "verify" in plain_stages  # verify_store=True in the base config
+
+    fault_traces, _ = _stage_traces(_workload(), STAGE_CONFIGS["faults"]())
+    assert "faults" in {stage for _, stage in fault_traces["event"]}
+    hier_traces, _ = _stage_traces(_workload(), STAGE_CONFIGS["hierarchy"]())
+    assert "residency" in {stage for _, stage in hier_traces["event"]}
+    passive_traces, _ = _stage_traces(
+        _workload(), STAGE_CONFIGS["passive-reactive"]()
+    )
+    assert "passive" in {stage for _, stage in passive_traces["event"]}
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_stage_trace_identity_holds_for_any_simulation_seed(seed):
+    """Driver-identical stage traces are a property of the kernel, not of
+    one lucky seed: the simulation seed moves bandwidths, warmup draws,
+    and cache contents, and the trace must stay path-identical."""
+    traces, _ = _stage_traces(
+        _workload(), SimulationConfig(cache_size_gb=1.0, seed=seed)
+    )
+    reference = traces["event"]
+    _assert_canonical(reference)
+    for label, trace in traces.items():
+        assert trace == reference, (seed, label)
+
+
+def test_degenerate_all_off_matches_pre_kernel_golden():
+    """With every optional subsystem off, the kernel-unified simulator
+    reproduces the pre-refactor behaviour bit-for-bit, per policy.
+
+    The fixture was captured from the last pre-kernel commit; a diff here
+    means the refactor changed simulation semantics, not just structure.
+    """
+    golden = json.loads(GOLDEN_PATH.read_text())
+    workload = _workload(seed=7)
+    for policy_name, expected in sorted(golden.items()):
+        result = ProxyCacheSimulator(workload, _config()).run(
+            make_policy(policy_name)
+        )
+        assert json.loads(json.dumps(result.as_dict())) == expected, policy_name
+
+
+def test_observer_mode_is_bit_identical_to_batch_mode():
+    """The observer routes requests through the scalar kernel path; the
+    metrics must be exactly those of the uninstrumented batch path."""
+    workload = _workload()
+    config = STAGE_CONFIGS["streaming"]()
+    plain = run_replay_paths(workload, config)
+    _, observed_results = _stage_traces(workload, config)
+    for label, result in observed_results.items():
+        assert result.as_dict() == plain[label].as_dict(), label
+
+
+# ----------------------------------------------------------------------
+# The static seam gate (scripts/check_kernel.py).
+# ----------------------------------------------------------------------
+def test_kernel_gate_passes_on_current_drivers():
+    assert check_kernel.check_file() == []
+
+
+def test_kernel_gate_counts_the_four_drivers(tmp_path):
+    stub = tmp_path / "simulator.py"
+    stub.write_text(
+        "class ProxyCacheSimulator:\n"
+        "    def _replay_events(self, ctx, engine):\n"
+        "        serve_request(ctx, 0, 0, 0.0)\n"
+    )
+    problems = check_kernel.check_file(stub)
+    assert any("expected the four replay drivers" in p for p in problems)
+
+
+VIOLATIONS = {
+    "subsystem class": (
+        "        injector_cls = FaultInjector\n",
+        "names subsystem class",
+    ),
+    "subsystem instance": (
+        "        injector.intercept(0.0, 1, 2.0)\n",
+        "reads subsystem instance",
+    ),
+    "self state": (
+        "        self.config.seed\n",
+        "touches self.config",
+    ),
+    "kernel state": (
+        "        ctx.collector.record(None)\n",
+        "reads ctx.collector",
+    ),
+}
+
+
+@pytest.mark.parametrize("violation", sorted(VIOLATIONS))
+def test_kernel_gate_flags_driver_violations(tmp_path, violation):
+    body, expected = VIOLATIONS[violation]
+    stub = tmp_path / "simulator.py"
+    stub.write_text(
+        "class ProxyCacheSimulator:\n"
+        + "".join(
+            f"    def _replay_{name}(self, ctx):\n"
+            "        serve_batch(ctx, [], [], 0, 0)\n"
+            for name in ("events", "fast", "fast_columnar")
+        )
+        + "    def _replay_events_columnar(self, ctx):\n"
+        "        serve_batch(ctx, [], [], 0, 0)\n" + body
+    )
+    problems = check_kernel.check_file(stub)
+    assert any(expected in p for p in problems), problems
+
+
+def test_kernel_gate_requires_delegation(tmp_path):
+    stub = tmp_path / "simulator.py"
+    stub.write_text(
+        "class ProxyCacheSimulator:\n"
+        + "".join(
+            f"    def _replay_{name}(self, ctx):\n"
+            "        serve_batch(ctx, [], [], 0, 0)\n"
+            for name in ("events", "fast", "fast_columnar")
+        )
+        + "    def _replay_events_columnar(self, ctx):\n"
+        "        pass\n"
+    )
+    problems = check_kernel.check_file(stub)
+    assert any(
+        "never calls serve_request/serve_batch" in p for p in problems
+    ), problems
